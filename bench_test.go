@@ -1,0 +1,114 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation section. Each benchmark runs its experiment at a reduced
+// scale so `go test -bench=.` completes in minutes; the full-scale
+// regeneration is `go run ./cmd/experiments -exp all` (see
+// EXPERIMENTS.md for recorded full-scale results).
+package transer_test
+
+import (
+	"testing"
+
+	"transer/internal/experiments"
+)
+
+// benchScale keeps benchmark iterations affordable while exercising
+// every code path of the corresponding experiment.
+const benchScale = 0.08
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale:    benchScale,
+		Seed:     1,
+		SkipSlow: true,
+		// Two classifiers keep the per-iteration cost down while still
+		// exercising the averaging protocol.
+		Classifiers: experiments.StandardClassifiers(1)[1:3],
+	}
+}
+
+// BenchmarkTable1Characteristics regenerates the data set
+// characteristics table (paper Table 1).
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Distributions regenerates the bi-modal similarity
+// histograms (paper Figure 2).
+func BenchmarkFigure2Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Decay regenerates the exponential decay curves
+// (paper Figure 5).
+func BenchmarkFigure5Decay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := experiments.Figure5(); len(pts) == 0 {
+			b.Fatal("no decay points")
+		}
+	}
+}
+
+// BenchmarkTable2LinkageQuality regenerates the method-comparison
+// quality sweep (paper Table 2; runtimes feed Table 3).
+func BenchmarkTable2LinkageQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Runtime measures the per-method runtime comparison on
+// one mid-sized task (paper Table 3's core claim: TransER within a
+// small factor of Naive, far below the other TL baselines).
+func BenchmarkTable3Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.RuntimeTable()
+	}
+}
+
+// BenchmarkFigure6LabelFraction regenerates the labelled-source-size
+// sensitivity sweep (paper Figure 6).
+func BenchmarkFigure6LabelFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Params regenerates the t_c/t_l/t_p/k sensitivity
+// sweep (paper Figure 7).
+func BenchmarkFigure7Params(b *testing.B) {
+	opts := benchOpts()
+	// The parameter grid is large; a single classifier suffices for the
+	// benchmark's purpose.
+	opts.Classifiers = experiments.StandardClassifiers(1)[1:2]
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Ablation regenerates the component ablation study
+// (paper Table 4).
+func BenchmarkTable4Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command transer runs the full TransER pipeline on CSV databases:
+// block, compare, transfer labels from a labelled source domain to an
+// unlabelled target domain, and write the predicted matches.
+//
+// Usage:
+//
+//	transer -source-a s1.csv -source-b s2.csv \
+//	        -target-a t1.csv -target-b t2.csv \
+//	        -out matches.csv [-tc 0.9] [-tl 0.9] [-tp 0.9] [-k 7] [-b 3]
+//
+// The CSVs use the format produced by cmd/datagen (header
+// "id,entity_id,<attr:type>,..."). The source databases must carry
+// entity ids (they provide the training labels); target entity ids,
+// when present, are used only to print evaluation measures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	transer "transer"
+	"transer/internal/dataset"
+)
+
+func main() {
+	var (
+		srcA = flag.String("source-a", "", "source domain database A (CSV)")
+		srcB = flag.String("source-b", "", "source domain database B (CSV)")
+		tgtA = flag.String("target-a", "", "target domain database A (CSV)")
+		tgtB = flag.String("target-b", "", "target domain database B (CSV)")
+		out  = flag.String("out", "", "output CSV of predicted matches (default stdout)")
+		tc   = flag.Float64("tc", 0.9, "instance confidence threshold t_c")
+		tl   = flag.Float64("tl", 0.9, "structural similarity threshold t_l")
+		tp   = flag.Float64("tp", 0.9, "pseudo label confidence threshold t_p")
+		k    = flag.Int("k", 7, "neighbourhood size")
+		b    = flag.Float64("b", 3, "non-match : match balance ratio")
+	)
+	flag.Parse()
+	for _, req := range []struct{ name, v string }{
+		{"-source-a", *srcA}, {"-source-b", *srcB}, {"-target-a", *tgtA}, {"-target-b", *tgtB},
+	} {
+		if req.v == "" {
+			fatal(fmt.Errorf("missing required flag %s", req.name))
+		}
+	}
+
+	load := func(path, name string) *transer.Database {
+		db, err := dataset.ReadCSVFile(path, name)
+		if err != nil {
+			fatal(err)
+		}
+		return db
+	}
+	source, err := transer.NewDomain(load(*srcA, "source-a"), load(*srcB, "source-b"),
+		transer.WithName("source"))
+	if err != nil {
+		fatal(err)
+	}
+	target, err := transer.NewDomain(load(*tgtA, "target-a"), load(*tgtB, "target-b"),
+		transer.WithName("target"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "source: %d candidate pairs (%.1f%% labelled matches)\n",
+		source.NumPairs(), 100*source.MatchFraction())
+	fmt.Fprintf(os.Stderr, "target: %d candidate pairs\n", target.NumPairs())
+
+	cfg := transer.DefaultConfig()
+	cfg.TC, cfg.TL, cfg.TP, cfg.K, cfg.B = *tc, *tl, *tp, *k, *b
+	res, err := transer.Transfer(source, target, transer.WithConfig(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "SEL kept %d/%d, GEN confident %d, TCL trained %d\n",
+		st.Selected, st.SourceInstances, st.HighConfidence, st.BalancedTrain)
+	if target.Labelled() {
+		m := res.Evaluate(target)
+		fmt.Fprintf(os.Stderr, "evaluation: P=%.2f R=%.2f F*=%.2f F1=%.2f\n",
+			m.Precision, m.Recall, m.FStar, m.F1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "a_id,b_id,probability")
+	for i, p := range target.Pairs {
+		if res.Labels[i] == 1 {
+			fmt.Fprintf(w, "%s,%s,%.4f\n",
+				target.A.Records[p.A].ID, target.B.Records[p.B].ID, res.Proba[i])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "transer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package transer
+
+import (
+	"fmt"
+
+	"transer/internal/datagen"
+)
+
+// DomainPair is two generated databases forming one ER domain, as
+// produced by the built-in synthetic data set generators.
+type DomainPair = datagen.DomainPair
+
+// TransferTask is one source→target experiment row.
+type TransferTask = datagen.TransferTask
+
+// GeneratorSpec fully describes a synthetic domain; see the paper
+// reproduction notes in DESIGN.md Section 1.4.
+type GeneratorSpec = datagen.Spec
+
+// Built-in data set stand-ins mirroring the paper's seven data sets
+// (Table 1). The scale parameter multiplies the entity universe size;
+// scale 1.0 is the laptop-scale default used by cmd/experiments.
+var (
+	// DBLPACM is the clean bibliographic pair.
+	DBLPACM = datagen.DBLPACM
+	// DBLPScholar is the noisy bibliographic pair.
+	DBLPScholar = datagen.DBLPScholar
+	// MSD is the Million-Songs-like music pair.
+	MSD = datagen.MSD
+	// MB is the Musicbrainz-like (highly ambiguous) music pair.
+	MB = datagen.MB
+	// IOSBpDp is the smaller 8-attribute demographic pair.
+	IOSBpDp = datagen.IOSBpDp
+	// KILBpDp is the larger 8-attribute demographic pair.
+	KILBpDp = datagen.KILBpDp
+	// IOSBpBp is the 11-attribute Isle-of-Skye demographic pair.
+	IOSBpBp = datagen.IOSBpBp
+	// KILBpBp is the largest 11-attribute demographic pair.
+	KILBpBp = datagen.KILBpBp
+)
+
+// PaperTasks returns the eight source→target pairs of the paper's
+// Table 2 at the given scale.
+func PaperTasks(scale float64) []TransferTask { return datagen.PaperTasks(scale) }
+
+// RepresentativeTasks returns the three pairs used for the sensitivity
+// and ablation experiments (Sections 5.2.3-5.4).
+func RepresentativeTasks(scale float64) []TransferTask {
+	return datagen.RepresentativeTasks(scale)
+}
+
+// Generate produces a custom synthetic domain pair.
+func Generate(spec GeneratorSpec) DomainPair {
+	a, b := datagen.Generate(spec)
+	return DomainPair{Name: spec.Name, A: a, B: b}
+}
+
+// BuildDomains converts a generated transfer task into blocked,
+// compared and labelled source and target Domains — the bridge from
+// the data generators to the Transfer API. Each side's recommended
+// blocking attributes are applied unless the caller overrides blocking.
+func BuildDomains(task TransferTask, opts ...DomainOption) (source, target *Domain, err error) {
+	source, err = BuildDomain(task.Source, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transer: building source domain: %w", err)
+	}
+	target, err = BuildDomain(task.Target, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transer: building target domain: %w", err)
+	}
+	return source, target, nil
+}
+
+// BuildDomain blocks, compares and labels one generated domain pair
+// using its recommended blocking attributes.
+func BuildDomain(pair DomainPair, opts ...DomainOption) (*Domain, error) {
+	base := []DomainOption{
+		WithName(pair.Name),
+		WithBlocking(pair.Blocking),
+	}
+	return NewDomain(pair.A, pair.B, append(base, opts...)...)
+}

@@ -1,0 +1,48 @@
+// Bibliographic: compare TransER against every baseline on the
+// publication-linkage scenario from the paper's introduction (labels
+// exist for DBLP-ACM; DBLP-Scholar must be linked without any), using
+// the paper's protocol of averaging over four classifiers.
+//
+// Run with:
+//
+//	go run ./examples/bibliographic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	transer "transer"
+)
+
+func main() {
+	source, target, err := transer.BuildDomains(transer.TransferTask{
+		Source: transer.DBLPACM(0.3),
+		Target: transer.DBLPScholar(0.3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer task: %s (%d pairs) -> %s (%d pairs)\n\n",
+		source.Name, source.NumPairs(), target.Name, target.NumPairs())
+
+	classifiers := transer.StandardClassifiers(1)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tP\tR\tF*\tF1\truntime")
+	for _, m := range transer.Methods(1) {
+		me, err := transer.EvaluateMethod(m, source, target, classifiers)
+		if err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\n", m.Name(), err)
+			continue
+		}
+		a := me.Aggregate
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%v\n",
+			me.Method, a.Precision, a.Recall, a.FStar, a.F1,
+			me.Runtime.Round(1e6))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Demographic: link 19th-century-style civil certificates (birth
+// parents to death parents) across two populations, the hardest
+// workload in the paper — structured personal data with typographical
+// errors, restricted name vocabularies, and genuinely ambiguous sibling
+// records. Shows custom comparison schemes and blocking configuration
+// on top of the generated data, plus per-phase statistics.
+//
+// Run with:
+//
+//	go run ./examples/demographic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transer "transer"
+)
+
+func main() {
+	kil := transer.KILBpDp(0.3) // labelled town records (source)
+	ios := transer.IOSBpDp(0.3) // unlabelled island records (target)
+
+	// Certificates are blocked on the four parent-name attributes with
+	// a tighter LSH threshold, the standard practice for this domain;
+	// the generated pairs carry that recommendation, but it can be
+	// overridden explicitly:
+	source, err := transer.NewDomain(kil.A, kil.B,
+		transer.WithName(kil.Name),
+		transer.WithBlocking(transer.BlockingConfig{
+			NumHashes: 60, Bands: 12, Attrs: []int{0, 1, 2, 3},
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := transer.NewDomain(ios.A, ios.B,
+		transer.WithName(ios.Name),
+		transer.WithBlocking(ios.Blocking))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source %s: %d pairs (%.0f%% matches)\n", source.Name,
+		source.NumPairs(), 100*source.MatchFraction())
+	fmt.Printf("target %s: %d pairs\n\n", target.Name, target.NumPairs())
+
+	// Tune TransER: smaller neighbourhood and a stricter balance for
+	// the sparser island data.
+	cfg := transer.DefaultConfig()
+	cfg.K = 7
+	cfg.B = 3
+	res, err := transer.Transfer(source, target, transer.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Evaluate(target)
+	fmt.Printf("TransER:  P=%.2f R=%.2f F*=%.2f F1=%.2f\n",
+		m.Precision, m.Recall, m.FStar, m.F1)
+	fmt.Printf("  phases: SEL %d/%d kept (%v) | GEN %d confident (%v) | TCL %d trained (%v)\n",
+		res.Stats.Selected, res.Stats.SourceInstances, res.Stats.SelTime.Round(1e6),
+		res.Stats.HighConfidence, res.Stats.GenTime.Round(1e6),
+		res.Stats.BalancedTrain, res.Stats.TclTime.Round(1e6))
+
+	// Reference: the no-transfer baseline.
+	naive, err := transer.MethodByName("Naive", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nres, err := transer.RunMethod(naive, source, target, transer.DefaultClassifier())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nm := nres.Evaluate(target)
+	fmt.Printf("Naive:    P=%.2f R=%.2f F*=%.2f F1=%.2f\n",
+		nm.Precision, nm.Recall, nm.FStar, nm.F1)
+	fmt.Printf("\nrecall gain over no-transfer: %+.2f points\n", m.Recall-nm.Recall)
+}

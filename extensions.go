@@ -1,0 +1,136 @@
+package transer
+
+import (
+	"errors"
+	"fmt"
+
+	"transer/internal/cluster"
+	"transer/internal/core"
+	"transer/internal/dataset"
+)
+
+// This file exposes the paper's future-work extensions (Section 6) and
+// the match-clustering post-processing step through the public API.
+
+// SourceScore ranks one candidate source domain's transferability.
+type SourceScore = core.SourceScore
+
+// RankSources scores labelled candidate source domains against an
+// unlabelled target, best first — the "choose the best source domain"
+// extension. All domains must share the target's feature space.
+func RankSources(sources []*Domain, target *Domain, cfg Config) ([]SourceScore, error) {
+	cands := make([]core.Source, 0, len(sources))
+	for i, s := range sources {
+		if s == nil {
+			return nil, fmt.Errorf("transer: nil source at %d", i)
+		}
+		if !s.Labelled() {
+			return nil, fmt.Errorf("transer: source %q has no labels", s.Name)
+		}
+		cands = append(cands, core.Source{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return core.RankSources(cands, target.X, cfg)
+}
+
+// TransferMultiSource ranks the candidate sources and transfers from
+// the best one.
+func TransferMultiSource(sources []*Domain, target *Domain, opts ...TransferOption) (*Result, []SourceScore, error) {
+	o := transferOptions{cfg: DefaultConfig(), factory: DefaultClassifier()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ranking, err := RankSources(sources, target, o.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := sources[ranking[0].Index]
+	res, err := Transfer(best, target, opts...)
+	if err != nil {
+		return nil, ranking, err
+	}
+	return res, ranking, nil
+}
+
+// TargetLabels maps target pair indices (into target.Pairs) to known
+// true labels for the partially-labelled-target extension.
+type TargetLabels = core.TargetLabels
+
+// TransferSemiSupervised runs TransER with some known target labels
+// anchoring the final classifier.
+func TransferSemiSupervised(source, target *Domain, known TargetLabels, opts ...TransferOption) (*Result, error) {
+	if source == nil || target == nil {
+		return nil, errors.New("transer: nil domain")
+	}
+	if !source.Labelled() {
+		return nil, fmt.Errorf("transer: source domain %q has no labels", source.Name)
+	}
+	o := transferOptions{cfg: DefaultConfig(), factory: DefaultClassifier()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res, err := core.RunSemiSupervised(source.X, source.Y, target.X, known, o.factory, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: res.Labels, Proba: res.Proba, Stats: res.Stats}, nil
+}
+
+// Oracle answers label queries for target pair indices (1 = match).
+type Oracle = core.Oracle
+
+// ActiveResult is the outcome of an active-learning transfer.
+type ActiveResult struct {
+	*Result
+	// Queried lists the target pair indices sent to the oracle.
+	Queried []int
+}
+
+// TransferActive integrates TransER with uncertainty-sampling active
+// learning: up to budget oracle queries are spent over the given
+// number of rounds on the most uncertain target pairs.
+func TransferActive(source, target *Domain, oracle Oracle, budget, rounds int, opts ...TransferOption) (*ActiveResult, error) {
+	if source == nil || target == nil {
+		return nil, errors.New("transer: nil domain")
+	}
+	if !source.Labelled() {
+		return nil, fmt.Errorf("transer: source domain %q has no labels", source.Name)
+	}
+	o := transferOptions{cfg: DefaultConfig(), factory: DefaultClassifier()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res, err := core.RunActive(source.X, source.Y, target.X, o.factory, o.cfg, oracle, budget, rounds)
+	if err != nil {
+		return nil, err
+	}
+	return &ActiveResult{
+		Result:  &Result{Labels: res.Labels, Proba: res.Proba, Stats: res.Stats},
+		Queried: res.Queried,
+	}, nil
+}
+
+// EntityCluster is one resolved entity after clustering: record
+// indices into the target's A and B databases.
+type EntityCluster = cluster.Cluster
+
+// ClusterMatches resolves the pairwise prediction into consistent
+// entity clusters via transitive closure (the post-processing step of
+// Figure 1's pipeline).
+func ClusterMatches(res *Result, target *Domain) []EntityCluster {
+	edges := cluster.EdgesFromPrediction(target.Pairs, res.Labels, res.Proba)
+	return cluster.ConnectedComponents(edges, target.A.NumRecords(), target.B.NumRecords())
+}
+
+// OneToOneMatches enforces at most one match per record on each side,
+// preferring high-probability pairs — the standard post-processing for
+// clean two-database linkage. It returns the retained pairs and the
+// corresponding label vector aligned with target.Pairs.
+func OneToOneMatches(res *Result, target *Domain) ([]Pair, []int) {
+	edges := cluster.EdgesFromPrediction(target.Pairs, res.Labels, res.Proba)
+	kept := cluster.GreedyOneToOne(edges)
+	pairs := make([]dataset.Pair, len(kept))
+	for i, e := range kept {
+		pairs[i] = e.Pair
+	}
+	return pairs, cluster.Labels(target.Pairs, kept)
+}

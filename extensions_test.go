@@ -1,0 +1,156 @@
+package transer
+
+import "testing"
+
+func TestRankSourcesPublicAPI(t *testing.T) {
+	tasks := PaperTasks(0.05)
+	msd, err := BuildDomain(tasks[2].Source) // MSD
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := BuildDomain(tasks[2].Target) // MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := BuildDomain(tasks[3].Target) // MSD again (fresh build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranking, err := RankSources([]*Domain{msd, mb}, target, DefaultConfig())
+	if err != nil {
+		t.Fatalf("RankSources: %v", err)
+	}
+	if len(ranking) != 2 {
+		t.Fatalf("expected 2 scores, got %d", len(ranking))
+	}
+	if ranking[0].Score < ranking[1].Score {
+		t.Errorf("ranking unsorted")
+	}
+	// Unlabelled source rejected.
+	unl, _ := NewDomain(tasks[2].Source.A, tasks[2].Source.B, WithoutLabels())
+	if _, err := RankSources([]*Domain{unl}, target, DefaultConfig()); err == nil {
+		t.Errorf("unlabelled source accepted")
+	}
+}
+
+func TestTransferMultiSourcePublicAPI(t *testing.T) {
+	tasks := PaperTasks(0.05)
+	src1, _ := BuildDomain(tasks[2].Source)
+	src2, _ := BuildDomain(tasks[2].Target)
+	target, _ := BuildDomain(tasks[3].Target)
+	res, ranking, err := TransferMultiSource([]*Domain{src1, src2}, target)
+	if err != nil {
+		t.Fatalf("TransferMultiSource: %v", err)
+	}
+	if len(res.Labels) != target.NumPairs() {
+		t.Errorf("wrong output size")
+	}
+	if len(ranking) != 2 {
+		t.Errorf("missing ranking")
+	}
+}
+
+func TestTransferSemiSupervisedPublicAPI(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := TargetLabels{}
+	for i := 0; i < tgt.NumPairs(); i += 10 {
+		known[i] = tgt.Y[i]
+	}
+	res, err := TransferSemiSupervised(src, tgt, known)
+	if err != nil {
+		t.Fatalf("TransferSemiSupervised: %v", err)
+	}
+	for idx, l := range known {
+		if res.Labels[idx] != l {
+			t.Fatalf("known label not respected at %d", idx)
+		}
+	}
+	m := res.Evaluate(tgt)
+	if m.FStar <= 0 {
+		t.Errorf("semi-supervised transfer learned nothing")
+	}
+	if _, err := TransferSemiSupervised(nil, tgt, known); err == nil {
+		t.Errorf("nil source accepted")
+	}
+}
+
+func TestTransferActivePublicAPI(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(i int) int { return tgt.Y[i] }
+	res, err := TransferActive(src, tgt, oracle, 20, 2)
+	if err != nil {
+		t.Fatalf("TransferActive: %v", err)
+	}
+	if len(res.Queried) == 0 || len(res.Queried) > 20 {
+		t.Errorf("queried %d with budget 20", len(res.Queried))
+	}
+	m := res.Evaluate(tgt)
+	if m.FStar <= 0 {
+		t.Errorf("active transfer learned nothing")
+	}
+	if _, err := TransferActive(src, tgt, nil, 20, 2); err == nil {
+		t.Errorf("nil oracle accepted")
+	}
+}
+
+func TestClusterMatchesPublicAPI(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transfer(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := ClusterMatches(res, tgt)
+	predicted := 0
+	for _, l := range res.Labels {
+		predicted += l
+	}
+	if predicted > 0 && len(clusters) == 0 {
+		t.Errorf("matches predicted but no clusters formed")
+	}
+	for _, c := range clusters {
+		if len(c.A) == 0 || len(c.B) == 0 {
+			t.Errorf("cluster without both sides: %+v", c)
+		}
+	}
+}
+
+func TestOneToOneMatchesPublicAPI(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transfer(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, labels := OneToOneMatches(res, tgt)
+	if len(labels) != tgt.NumPairs() {
+		t.Fatalf("label vector misaligned")
+	}
+	seenA := map[int]bool{}
+	seenB := map[int]bool{}
+	for _, p := range pairs {
+		if seenA[p.A] || seenB[p.B] {
+			t.Fatalf("one-to-one violated at %v", p)
+		}
+		seenA[p.A] = true
+		seenB[p.B] = true
+	}
+	// One-to-one can only keep a subset of predicted matches.
+	predicted := 0
+	for _, l := range res.Labels {
+		predicted += l
+	}
+	if len(pairs) > predicted {
+		t.Errorf("kept %d pairs out of %d predicted", len(pairs), predicted)
+	}
+}

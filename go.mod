@@ -1,0 +1,3 @@
+module transer
+
+go 1.22

@@ -1,0 +1,124 @@
+package blocking
+
+import (
+	"sort"
+
+	"transer/internal/dataset"
+	"transer/internal/strutil"
+)
+
+// SortedNeighbourhood implements the classic sorted neighbourhood
+// blocking method: records from both databases are sorted together by
+// a sorting key, and a window of size w slides over the combined
+// order; every cross-database pair inside a window becomes a
+// candidate. It complements MinHash-LSH when a natural sort key exists
+// (surname, title).
+//
+// The window must be at least 2; keyFn may map several records to the
+// same key (ties are ordered A-side before B-side, then by record
+// index, for determinism).
+func SortedNeighbourhood(a, b *dataset.Database, keyFn KeyFunc, window int) []dataset.Pair {
+	if window < 2 {
+		window = 2
+	}
+	type entry struct {
+		key  string
+		side int // 0 = A, 1 = B
+		idx  int
+	}
+	entries := make([]entry, 0, len(a.Records)+len(b.Records))
+	for i, r := range a.Records {
+		if k := keyFn(r); k != "" {
+			entries = append(entries, entry{k, 0, i})
+		}
+	}
+	for i, r := range b.Records {
+		if k := keyFn(r); k != "" {
+			entries = append(entries, entry{k, 1, i})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		if entries[i].side != entries[j].side {
+			return entries[i].side < entries[j].side
+		}
+		return entries[i].idx < entries[j].idx
+	})
+	set := make(dataset.PairSet)
+	for i := range entries {
+		hi := i + window
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for j := i + 1; j < hi; j++ {
+			ei, ej := entries[i], entries[j]
+			switch {
+			case ei.side == 0 && ej.side == 1:
+				set.Add(ei.idx, ej.idx)
+			case ei.side == 1 && ej.side == 0:
+				set.Add(ej.idx, ei.idx)
+			}
+		}
+	}
+	return set.Sorted()
+}
+
+// Canopy implements canopy clustering blocking over a cheap similarity:
+// repeatedly pick an unprocessed A-side seed record, pair it with every
+// B-side record whose cheap similarity is at least loose, and mark
+// B-side records above tight as consumed. The cheap similarity is
+// token Jaccard over the record's concatenated values by default (pass
+// nil).
+func Canopy(a, b *dataset.Database, sim func(x, y dataset.Record) float64, loose, tight float64) []dataset.Pair {
+	if sim == nil {
+		sim = jaccardRecords
+	}
+	if tight < loose {
+		tight = loose
+	}
+	set := make(dataset.PairSet)
+	consumed := make([]bool, len(b.Records))
+	for i, ra := range a.Records {
+		for j, rb := range b.Records {
+			if consumed[j] {
+				continue
+			}
+			s := sim(ra, rb)
+			if s >= loose {
+				set.Add(i, j)
+				if s >= tight {
+					consumed[j] = true
+				}
+			}
+		}
+	}
+	return set.Sorted()
+}
+
+func jaccardRecords(x, y dataset.Record) float64 {
+	tok := func(r dataset.Record) map[string]bool {
+		set := map[string]bool{}
+		for _, v := range r.Values {
+			for _, t := range strutil.Tokens(v) {
+				set[t] = true
+			}
+		}
+		return set
+	}
+	sa, sb := tok(x), tok(y)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}

@@ -1,0 +1,133 @@
+package blocking
+
+import (
+	"testing"
+
+	"transer/internal/dataset"
+)
+
+func snDBs() (*dataset.Database, *dataset.Database) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{{Name: "name", Type: dataset.AttrName}}}
+	a := &dataset.Database{Name: "A", Schema: sch, Records: []dataset.Record{
+		{ID: "a0", EntityID: "e0", Values: []string{"anderson"}},
+		{ID: "a1", EntityID: "e1", Values: []string{"brown"}},
+		{ID: "a2", EntityID: "e2", Values: []string{"campbell"}},
+		{ID: "a3", EntityID: "e3", Values: []string{"zimmer"}},
+	}}
+	b := &dataset.Database{Name: "B", Schema: sch, Records: []dataset.Record{
+		{ID: "b0", EntityID: "e0", Values: []string{"andersen"}},
+		{ID: "b1", EntityID: "e1", Values: []string{"browne"}},
+		{ID: "b2", EntityID: "e9", Values: []string{"macdonald"}},
+	}}
+	return a, b
+}
+
+func TestSortedNeighbourhoodWindow(t *testing.T) {
+	a, b := snDBs()
+	key := PrefixKey(0, 4)
+	pairs := SortedNeighbourhood(a, b, key, 3)
+	ps := make(dataset.PairSet)
+	for _, p := range pairs {
+		ps[p] = true
+	}
+	// anderson/andersen sort adjacently (prefix "ande") => candidate.
+	if !ps.Contains(0, 0) {
+		t.Errorf("adjacent sorted names not paired: %v", pairs)
+	}
+	// brown/browne adjacent too.
+	if !ps.Contains(1, 1) {
+		t.Errorf("brown/browne not paired: %v", pairs)
+	}
+	// zimmer (A) and macdonald (B) are far apart in sort order with a
+	// window of 3 and 7 entries between them... check they are not
+	// paired when the window clearly excludes them.
+	if ps.Contains(3, 2) && len(pairs) < 6 {
+		t.Errorf("distant keys paired unexpectedly")
+	}
+}
+
+func TestSortedNeighbourhoodWindowTooSmall(t *testing.T) {
+	a, b := snDBs()
+	p1 := SortedNeighbourhood(a, b, PrefixKey(0, 4), 0) // clamps to 2
+	p2 := SortedNeighbourhood(a, b, PrefixKey(0, 4), 2)
+	if len(p1) != len(p2) {
+		t.Errorf("window clamp failed: %d vs %d", len(p1), len(p2))
+	}
+}
+
+func TestSortedNeighbourhoodLargerWindowSuperset(t *testing.T) {
+	a, b := snDBs()
+	small := SortedNeighbourhood(a, b, PrefixKey(0, 4), 2)
+	big := SortedNeighbourhood(a, b, PrefixKey(0, 4), 5)
+	set := make(dataset.PairSet)
+	for _, p := range big {
+		set[p] = true
+	}
+	for _, p := range small {
+		if !set[p] {
+			t.Fatalf("pair %v from small window missing in larger window", p)
+		}
+	}
+	if len(big) < len(small) {
+		t.Errorf("larger window produced fewer pairs")
+	}
+}
+
+func TestSortedNeighbourhoodSkipsEmptyKeys(t *testing.T) {
+	a, b := snDBs()
+	a.Records[0].Values[0] = ""
+	pairs := SortedNeighbourhood(a, b, PrefixKey(0, 4), 5)
+	for _, p := range pairs {
+		if p.A == 0 {
+			t.Errorf("record with empty key was paired: %v", p)
+		}
+	}
+}
+
+func TestCanopy(t *testing.T) {
+	a, b := snDBs()
+	pairs := Canopy(a, b, nil, 0.3, 0.8)
+	// Identical single-token names have Jaccard 1 only if the token
+	// matches exactly; anderson vs andersen differ => Jaccard 0. Use a
+	// custom similarity to exercise the mechanism.
+	sim := func(x, y dataset.Record) float64 {
+		if x.Values[0][0] == y.Values[0][0] {
+			return 0.9
+		}
+		return 0
+	}
+	pairs = Canopy(a, b, sim, 0.5, 0.95)
+	ps := make(dataset.PairSet)
+	for _, p := range pairs {
+		ps[p] = true
+	}
+	if !ps.Contains(0, 0) { // anderson/andersen share initial
+		t.Errorf("canopy missed initial-sharing pair: %v", pairs)
+	}
+	if ps.Contains(3, 2) {
+		t.Errorf("canopy paired unrelated records")
+	}
+}
+
+func TestCanopyTightConsumes(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{{Name: "v", Type: dataset.AttrText}}}
+	a := &dataset.Database{Schema: sch, Records: []dataset.Record{
+		{ID: "a0", Values: []string{"x"}},
+		{ID: "a1", Values: []string{"x"}},
+	}}
+	b := &dataset.Database{Schema: sch, Records: []dataset.Record{
+		{ID: "b0", Values: []string{"x"}},
+	}}
+	sim := func(x, y dataset.Record) float64 { return 1 }
+	// tight=loose=1: the first A record consumes b0, the second gets
+	// nothing.
+	pairs := Canopy(a, b, sim, 1, 1)
+	if len(pairs) != 1 || pairs[0] != (dataset.Pair{A: 0, B: 0}) {
+		t.Errorf("tight consumption failed: %v", pairs)
+	}
+	// loose below tight: b0 stays available for both.
+	pairs = Canopy(a, b, sim, 0.5, 2)
+	if len(pairs) != 2 {
+		t.Errorf("loose canopy should pair both, got %v", pairs)
+	}
+}

@@ -1,0 +1,187 @@
+// Package cluster post-processes pairwise match decisions into entity
+// clusters — the step after classification in the ER process of the
+// paper's Figure 1. Pairwise classifiers can emit inconsistent
+// decisions (a matches b, b matches c, a does not match c); clustering
+// resolves them into a consistent partition. Two standard algorithms
+// are provided: transitive closure via connected components, and
+// greedy best-match one-to-one assignment for clean two-database
+// linkage where each record has at most one true match.
+package cluster
+
+import (
+	"sort"
+
+	"transer/internal/dataset"
+)
+
+// Edge is one predicted match between record A-side index and B-side
+// index with its match probability.
+type Edge struct {
+	Pair  dataset.Pair
+	Proba float64
+}
+
+// EdgesFromPrediction builds the match edge list from a candidate pair
+// list and its predicted labels/probabilities.
+func EdgesFromPrediction(pairs []dataset.Pair, labels []int, proba []float64) []Edge {
+	out := make([]Edge, 0)
+	for i, p := range pairs {
+		if labels[i] == 1 {
+			e := Edge{Pair: p}
+			if proba != nil {
+				e.Proba = proba[i]
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Cluster is one resolved entity: the A-side and B-side record indices
+// grouped together.
+type Cluster struct {
+	A, B []int
+}
+
+// union-find over a combined node space (A-side nodes then B-side
+// nodes).
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// ConnectedComponents groups records by the transitive closure of the
+// match edges. numA and numB are the record counts of the two
+// databases; singletons (records without any match edge) are omitted.
+// Clusters are returned in deterministic order (smallest A index, then
+// smallest B index).
+func ConnectedComponents(edges []Edge, numA, numB int) []Cluster {
+	uf := newUnionFind(numA + numB)
+	for _, e := range edges {
+		uf.union(e.Pair.A, numA+e.Pair.B)
+	}
+	groups := map[int]*Cluster{}
+	for _, e := range edges {
+		root := uf.find(e.Pair.A)
+		if groups[root] == nil {
+			groups[root] = &Cluster{}
+		}
+	}
+	seenA := make(map[int]bool)
+	seenB := make(map[int]bool)
+	for _, e := range edges {
+		root := uf.find(e.Pair.A)
+		g := groups[root]
+		if !seenA[e.Pair.A] {
+			g.A = append(g.A, e.Pair.A)
+			seenA[e.Pair.A] = true
+		}
+		if !seenB[e.Pair.B] {
+			g.B = append(g.B, e.Pair.B)
+			seenB[e.Pair.B] = true
+		}
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g.A)
+		sort.Ints(g.B)
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := first(out[i].A), first(out[j].A)
+		if ai != aj {
+			return ai < aj
+		}
+		return first(out[i].B) < first(out[j].B)
+	})
+	return out
+}
+
+func first(xs []int) int {
+	if len(xs) == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return xs[0]
+}
+
+// GreedyOneToOne keeps at most one match per record on each side,
+// preferring higher-probability edges (ties broken by pair indices for
+// determinism). It implements the common post-processing for clean
+// two-database linkage and returns the retained edges sorted by pair.
+func GreedyOneToOne(edges []Edge) []Edge {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Proba != sorted[j].Proba {
+			return sorted[i].Proba > sorted[j].Proba
+		}
+		if sorted[i].Pair.A != sorted[j].Pair.A {
+			return sorted[i].Pair.A < sorted[j].Pair.A
+		}
+		return sorted[i].Pair.B < sorted[j].Pair.B
+	})
+	usedA := map[int]bool{}
+	usedB := map[int]bool{}
+	kept := make([]Edge, 0, len(sorted))
+	for _, e := range sorted {
+		if usedA[e.Pair.A] || usedB[e.Pair.B] {
+			continue
+		}
+		usedA[e.Pair.A] = true
+		usedB[e.Pair.B] = true
+		kept = append(kept, e)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pair.A != kept[j].Pair.A {
+			return kept[i].Pair.A < kept[j].Pair.A
+		}
+		return kept[i].Pair.B < kept[j].Pair.B
+	})
+	return kept
+}
+
+// Labels converts a retained edge set back into a label vector aligned
+// with the candidate pair list (1 for retained pairs), allowing the
+// standard pairwise measures to evaluate the clustered result.
+func Labels(pairs []dataset.Pair, kept []Edge) []int {
+	set := make(dataset.PairSet, len(kept))
+	for _, e := range kept {
+		set[e.Pair] = true
+	}
+	out := make([]int, len(pairs))
+	for i, p := range pairs {
+		if set[p] {
+			out[i] = 1
+		}
+	}
+	return out
+}

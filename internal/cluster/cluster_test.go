@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"transer/internal/dataset"
+)
+
+func TestEdgesFromPrediction(t *testing.T) {
+	pairs := []dataset.Pair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}}
+	labels := []int{1, 0, 1}
+	proba := []float64{0.9, 0.4, 0.8}
+	edges := EdgesFromPrediction(pairs, labels, proba)
+	if len(edges) != 2 {
+		t.Fatalf("expected 2 edges, got %d", len(edges))
+	}
+	if edges[0].Pair != pairs[0] || edges[0].Proba != 0.9 {
+		t.Errorf("edge 0 = %+v", edges[0])
+	}
+	// nil proba allowed
+	edges = EdgesFromPrediction(pairs, labels, nil)
+	if edges[0].Proba != 0 {
+		t.Errorf("nil proba should give zero")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// a0-b0, a1-b0 (shared B record => one cluster), a2-b2 separate.
+	edges := []Edge{
+		{Pair: dataset.Pair{A: 0, B: 0}},
+		{Pair: dataset.Pair{A: 1, B: 0}},
+		{Pair: dataset.Pair{A: 2, B: 2}},
+	}
+	cs := ConnectedComponents(edges, 3, 3)
+	if len(cs) != 2 {
+		t.Fatalf("expected 2 clusters, got %d: %+v", len(cs), cs)
+	}
+	if len(cs[0].A) != 2 || len(cs[0].B) != 1 {
+		t.Errorf("first cluster = %+v", cs[0])
+	}
+	if cs[0].A[0] != 0 || cs[0].A[1] != 1 || cs[0].B[0] != 0 {
+		t.Errorf("first cluster members = %+v", cs[0])
+	}
+	if len(cs[1].A) != 1 || cs[1].A[0] != 2 || cs[1].B[0] != 2 {
+		t.Errorf("second cluster = %+v", cs[1])
+	}
+}
+
+func TestConnectedComponentsTransitivity(t *testing.T) {
+	// a0-b0, a1-b0, a1-b1: all four records in one cluster.
+	edges := []Edge{
+		{Pair: dataset.Pair{A: 0, B: 0}},
+		{Pair: dataset.Pair{A: 1, B: 0}},
+		{Pair: dataset.Pair{A: 1, B: 1}},
+	}
+	cs := ConnectedComponents(edges, 2, 2)
+	if len(cs) != 1 {
+		t.Fatalf("expected 1 cluster, got %d", len(cs))
+	}
+	if len(cs[0].A) != 2 || len(cs[0].B) != 2 {
+		t.Errorf("cluster = %+v", cs[0])
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	if cs := ConnectedComponents(nil, 5, 5); len(cs) != 0 {
+		t.Errorf("no edges should give no clusters, got %v", cs)
+	}
+}
+
+func TestGreedyOneToOne(t *testing.T) {
+	edges := []Edge{
+		{Pair: dataset.Pair{A: 0, B: 0}, Proba: 0.9},
+		{Pair: dataset.Pair{A: 0, B: 1}, Proba: 0.8}, // loses A=0
+		{Pair: dataset.Pair{A: 1, B: 0}, Proba: 0.7}, // loses B=0
+		{Pair: dataset.Pair{A: 1, B: 1}, Proba: 0.6}, // wins leftovers
+	}
+	kept := GreedyOneToOne(edges)
+	if len(kept) != 2 {
+		t.Fatalf("expected 2 kept edges, got %d: %+v", len(kept), kept)
+	}
+	if kept[0].Pair != (dataset.Pair{A: 0, B: 0}) || kept[1].Pair != (dataset.Pair{A: 1, B: 1}) {
+		t.Errorf("kept = %+v", kept)
+	}
+}
+
+func TestGreedyOneToOneDeterministicTies(t *testing.T) {
+	edges := []Edge{
+		{Pair: dataset.Pair{A: 1, B: 0}, Proba: 0.5},
+		{Pair: dataset.Pair{A: 0, B: 0}, Proba: 0.5},
+	}
+	kept := GreedyOneToOne(edges)
+	if len(kept) != 1 || kept[0].Pair.A != 0 {
+		t.Errorf("tie should prefer lower A index, got %+v", kept)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	pairs := []dataset.Pair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 2, B: 2}}
+	kept := []Edge{{Pair: pairs[1]}}
+	labels := Labels(pairs, kept)
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestPropertyOneToOneInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		// Random edge soup; after GreedyOneToOne no A or B repeats and
+		// no kept edge could be replaced by a strictly better unkept
+		// edge on fully free endpoints.
+		edges := randomEdges(seed, 40)
+		kept := GreedyOneToOne(edges)
+		seenA := map[int]bool{}
+		seenB := map[int]bool{}
+		for _, e := range kept {
+			if seenA[e.Pair.A] || seenB[e.Pair.B] {
+				return false
+			}
+			seenA[e.Pair.A] = true
+			seenB[e.Pair.B] = true
+		}
+		for _, e := range edges {
+			if !seenA[e.Pair.A] && !seenB[e.Pair.B] {
+				return false // a free edge was skipped
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("one-to-one invariant violated: %v", err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		edges := randomEdges(seed, 60)
+		cs := ConnectedComponents(edges, 20, 20)
+		seenA := map[int]int{}
+		seenB := map[int]int{}
+		for ci, c := range cs {
+			for _, a := range c.A {
+				if prev, ok := seenA[a]; ok && prev != ci {
+					return false // A record in two clusters
+				}
+				seenA[a] = ci
+			}
+			for _, b := range c.B {
+				if prev, ok := seenB[b]; ok && prev != ci {
+					return false
+				}
+				seenB[b] = ci
+			}
+		}
+		// Every edge's endpoints are in the same cluster.
+		for _, e := range edges {
+			if seenA[e.Pair.A] != seenB[e.Pair.B] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("components are not a partition: %v", err)
+	}
+}
+
+func randomEdges(seed int64, n int) []Edge {
+	// Simple deterministic LCG so testing/quick's seed drives layout.
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int(state>>33) % mod
+	}
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{
+			Pair:  dataset.Pair{A: next(20), B: next(20)},
+			Proba: float64(next(100)) / 100,
+		}
+	}
+	return edges
+}

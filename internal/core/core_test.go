@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/logreg"
+	"transer/internal/ml/mltest"
+	"transer/internal/ml/tree"
+)
+
+// transferProblem builds a synthetic TL-for-ER task:
+//   - source: two blobs (matches high, non-matches low) plus a band of
+//     conflicting-label instances (same region, mixed labels) that a
+//     good instance selector should drop;
+//   - target: the same blobs under a covariate shift.
+func transferProblem(nS, nT int, shift float64, conflictFrac float64, seed int64) (xs [][]float64, ys []int, xt [][]float64, yt []int) {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(n int, offset float64, withConflicts bool) ([][]float64, []int) {
+		x := make([][]float64, 0, n)
+		y := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			label := i % 2
+			centre := 0.2
+			if label == 1 {
+				centre = 0.8
+			}
+			row := make([]float64, 4)
+			for j := range row {
+				v := centre + offset + rng.NormFloat64()*0.08
+				row[j] = clamp(v)
+			}
+			if withConflicts && rng.Float64() < conflictFrac {
+				// Conflicting region: mid-similarity vectors whose label
+				// is random — the "ambiguous feature vectors" of Table 1.
+				for j := range row {
+					row[j] = clamp(0.55 + rng.NormFloat64()*0.05)
+				}
+				label = rng.Intn(2)
+			}
+			x = append(x, row)
+			y = append(y, label)
+		}
+		return x, y
+	}
+	xs, ys = gen(nS, 0, true)
+	xt, yt = gen(nT, shift, false)
+	return
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func treeFactory() ml.Factory { return tree.Factory(tree.Config{Seed: 1}) }
+
+func TestRunBasic(t *testing.T) {
+	xs, ys, xt, yt := transferProblem(400, 300, 0.05, 0.15, 1)
+	res, err := Run(xs, ys, xt, treeFactory(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Labels) != len(xt) || len(res.Proba) != len(xt) {
+		t.Fatalf("output sizes wrong: %d labels, %d proba", len(res.Labels), len(res.Proba))
+	}
+	if acc := mltest.Accuracy(res.Proba, yt); acc < 0.9 {
+		t.Errorf("target accuracy %.3f", acc)
+	}
+	st := res.Stats
+	if st.Selected == 0 || st.Selected > st.SourceInstances {
+		t.Errorf("selected count %d implausible", st.Selected)
+	}
+	if !st.SelectedFallback && st.Selected == st.SourceInstances {
+		t.Errorf("selector kept every instance despite conflicts")
+	}
+}
+
+func TestRunSelectorDropsConflicts(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(600, 300, 0.0, 0.25, 2)
+	cfg := DefaultConfig()
+	selected := SelectInstances(xs, ys, xt, cfg)
+	// Compute sim_c for all and verify dropped instances have lower
+	// mean confidence than kept ones.
+	sims := Similarities(xs, ys, xt, cfg)
+	keptSet := make(map[int]bool)
+	for _, i := range selected {
+		keptSet[i] = true
+	}
+	var keptC, dropC float64
+	var nKept, nDrop int
+	for i, s := range sims {
+		if keptSet[i] {
+			keptC += s.SimC
+			nKept++
+		} else {
+			dropC += s.SimC
+			nDrop++
+		}
+	}
+	if nKept == 0 || nDrop == 0 {
+		t.Fatalf("selector degenerate: kept %d dropped %d", nKept, nDrop)
+	}
+	if keptC/float64(nKept) <= dropC/float64(nDrop) {
+		t.Errorf("kept instances have lower class confidence than dropped ones")
+	}
+}
+
+func TestRunBeatsNaiveUnderConflicts(t *testing.T) {
+	// With a conflicting-label band in the source and a target shift,
+	// TransER should beat the naive source-trained classifier (the
+	// paper's central claim).
+	xs, ys, xt, yt := transferProblem(800, 500, 0.08, 0.3, 3)
+	factory := func() ml.Classifier { return logreg.New(logreg.Config{}) }
+
+	naive, err := ml.FitWithFallback(factory, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveAcc := mltest.Accuracy(naive.PredictProba(xt), yt)
+
+	res, err := Run(xs, ys, xt, factory, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	transerAcc := mltest.Accuracy(res.Proba, yt)
+	if transerAcc+1e-9 < naiveAcc-0.02 {
+		t.Errorf("TransER (%.3f) materially worse than naive (%.3f)", transerAcc, naiveAcc)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(300, 200, 0.05, 0.2, 4)
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	r1, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(50, 50, 0, 0, 5)
+	if _, err := Run(nil, nil, xt, treeFactory(), DefaultConfig()); err == nil {
+		t.Errorf("empty source accepted")
+	}
+	if _, err := Run(xs, ys[:10], xt, treeFactory(), DefaultConfig()); err == nil {
+		t.Errorf("label length mismatch accepted")
+	}
+	if _, err := Run(xs, ys, nil, treeFactory(), DefaultConfig()); err == nil {
+		t.Errorf("empty target accepted")
+	}
+	if _, err := Run(xs, ys, [][]float64{{1, 2}}, treeFactory(), DefaultConfig()); err == nil {
+		t.Errorf("heterogeneous feature space accepted")
+	}
+	if _, err := Run(xs, ys, xt, nil, DefaultConfig()); err == nil {
+		t.Errorf("nil factory accepted")
+	}
+	bad := DefaultConfig()
+	bad.TC = 1.5
+	if _, err := Run(xs, ys, xt, treeFactory(), bad); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+	bad = DefaultConfig()
+	bad.K = -1
+	if _, err := Run(xs, ys, xt, treeFactory(), bad); err == nil {
+		t.Errorf("negative K accepted")
+	}
+}
+
+func TestSelectionMonotoneInThresholds(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(400, 300, 0.05, 0.2, 6)
+	prev := -1
+	for _, tc := range []float64{0.5, 0.7, 0.9, 1.0} {
+		cfg := DefaultConfig()
+		cfg.TC = tc
+		n := len(SelectInstances(xs, ys, xt, cfg))
+		if prev >= 0 && n > prev {
+			t.Errorf("selection grew when t_c tightened: %d -> %d at tc=%v", prev, n, tc)
+		}
+		prev = n
+	}
+	prev = -1
+	for _, tl := range []float64{0.5, 0.7, 0.9, 0.99} {
+		cfg := DefaultConfig()
+		cfg.TL = tl
+		n := len(SelectInstances(xs, ys, xt, cfg))
+		if prev >= 0 && n > prev {
+			t.Errorf("selection grew when t_l tightened: %d -> %d at tl=%v", prev, n, tl)
+		}
+		prev = n
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(400, 300, 0.05, 0.25, 7)
+
+	// DisableSEL transfers everything.
+	cfg := DefaultConfig()
+	cfg.DisableSEL = true
+	if n := len(SelectInstances(xs, ys, xt, cfg)); n != len(xs) {
+		t.Errorf("DisableSEL selected %d of %d", n, len(xs))
+	}
+
+	// DisableSimC keeps at least as many as the full filter.
+	base := len(SelectInstances(xs, ys, xt, DefaultConfig()))
+	cfg = DefaultConfig()
+	cfg.DisableSimC = true
+	noC := len(SelectInstances(xs, ys, xt, cfg))
+	if noC < base {
+		t.Errorf("removing sim_c reduced selection: %d < %d", noC, base)
+	}
+	cfg = DefaultConfig()
+	cfg.DisableSimL = true
+	noL := len(SelectInstances(xs, ys, xt, cfg))
+	if noL < base {
+		t.Errorf("removing sim_l reduced selection: %d < %d", noL, base)
+	}
+
+	// EnableSimV keeps at most as many.
+	cfg = DefaultConfig()
+	cfg.EnableSimV = true
+	withV := len(SelectInstances(xs, ys, xt, cfg))
+	if withV > base {
+		t.Errorf("adding sim_v increased selection: %d > %d", withV, base)
+	}
+
+	// DisableGENTCL returns GEN outputs as final.
+	cfg = DefaultConfig()
+	cfg.DisableGENTCL = true
+	res, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Labels {
+		if res.Labels[i] != res.PseudoLabels[i] {
+			t.Fatalf("DisableGENTCL: final label %d differs from pseudo label", i)
+		}
+	}
+}
+
+func TestTCLFallbackAtImpossibleThreshold(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(200, 150, 0.05, 0.1, 8)
+	cfg := DefaultConfig()
+	cfg.TP = 1.0 // a sigmoid never reaches exactly 1
+	lrFactory := func() ml.Classifier { return logreg.New(logreg.Config{}) }
+	res, err := Run(xs, ys, xt, lrFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TCLFallback {
+		t.Errorf("expected TCL fallback at t_p = 1.0 (high confidence count %d)", res.Stats.HighConfidence)
+	}
+	// Output still usable.
+	if len(res.Labels) != len(xt) {
+		t.Errorf("fallback produced wrong output size")
+	}
+}
+
+func TestSelectorFallbackAtImpossibleThresholds(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(100, 100, 0.4, 0.0, 9)
+	cfg := DefaultConfig()
+	cfg.TL = 1.0 // requires exactly zero centroid distance
+	res, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.SelectedFallback {
+		t.Errorf("expected SEL fallback at t_l = 1.0 with shifted target")
+	}
+}
+
+func TestSimilaritiesRanges(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(150, 150, 0.1, 0.2, 10)
+	cfg := DefaultConfig()
+	cfg.EnableSimV = true
+	for i, s := range Similarities(xs, ys, xt, cfg) {
+		if s.SimC < 0 || s.SimC > 1 || math.IsNaN(s.SimC) {
+			t.Fatalf("sim_c[%d] = %v out of range", i, s.SimC)
+		}
+		if s.SimL <= 0 || s.SimL > 1 || math.IsNaN(s.SimL) {
+			t.Fatalf("sim_l[%d] = %v out of range", i, s.SimL)
+		}
+		if s.SimV <= 0 || s.SimV > 1 || math.IsNaN(s.SimV) {
+			t.Fatalf("sim_v[%d] = %v out of range", i, s.SimV)
+		}
+	}
+}
+
+func TestSimLReflectsShift(t *testing.T) {
+	// Larger marginal shift must lower the mean structural similarity.
+	meanSimL := func(shift float64) float64 {
+		xs, ys, xt, _ := transferProblem(200, 200, shift, 0, 11)
+		sims := Similarities(xs, ys, xt, DefaultConfig())
+		s := 0.0
+		for _, v := range sims {
+			s += v.SimL
+		}
+		return s / float64(len(sims))
+	}
+	small := meanSimL(0.02)
+	large := meanSimL(0.3)
+	if large >= small {
+		t.Errorf("sim_l did not decrease under shift: %.3f (small) vs %.3f (large)", small, large)
+	}
+}
+
+func TestBalancingRespected(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(600, 400, 0.05, 0.1, 12)
+	cfg := DefaultConfig()
+	cfg.B = 1 // 1:1 balance
+	res, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TCLFallback {
+		t.Skip("TCL fallback; balancing not exercised at this seed")
+	}
+	if res.Stats.BalancedTrain > res.Stats.HighConfidence {
+		t.Errorf("balanced set larger than its source")
+	}
+}
+
+func TestKLargerThanData(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(10, 8, 0.05, 0, 13)
+	cfg := DefaultConfig()
+	cfg.K = 50
+	if _, err := Run(xs, ys, xt, treeFactory(), cfg); err != nil {
+		t.Fatalf("K larger than data should clamp, got error: %v", err)
+	}
+}
+
+func BenchmarkTransERRun(b *testing.B) {
+	xs, ys, xt, _ := transferProblem(1000, 800, 0.05, 0.2, 14)
+	f := treeFactory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(xs, ys, xt, f, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectInstances(b *testing.B) {
+	xs, ys, xt, _ := transferProblem(2000, 1500, 0.05, 0.2, 15)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectInstances(xs, ys, xt, cfg)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"transer/internal/kdtree"
+)
+
+// decayRate is the exponential decay coefficient of Equation (2); the
+// paper selects e^{-5x} from the candidates in Figure 5.
+const decayRate = 5.0
+
+// InstanceSimilarities holds the per-source-instance transferability
+// scores of the SEL phase.
+type InstanceSimilarities struct {
+	// SimC is the class confidence similarity (Equation 1).
+	SimC float64
+	// SimL is the structural similarity (Equation 2).
+	SimL float64
+	// SimV is LocIT's covariance similarity (only computed when the
+	// +sim_v ablation is enabled; otherwise 1).
+	SimV float64
+}
+
+// selector computes SEL-phase similarities for all source instances.
+type selector struct {
+	xs  [][]float64
+	ys  []int
+	xt  [][]float64
+	cfg Config
+
+	srcTree, tgtTree *kdtree.Tree
+	sqrtM            float64
+}
+
+func newSelector(xs [][]float64, ys []int, xt [][]float64, cfg Config) *selector {
+	m := 0
+	if len(xs) > 0 {
+		m = len(xs[0])
+	}
+	return &selector{
+		xs: xs, ys: ys, xt: xt, cfg: cfg,
+		srcTree: kdtree.Build(xs),
+		tgtTree: kdtree.Build(xt),
+		sqrtM:   math.Sqrt(float64(m)),
+	}
+}
+
+// similaritiesFor computes sim_c, sim_l (and sim_v if enabled) for the
+// source instance at index i.
+func (s *selector) similaritiesFor(i int) InstanceSimilarities {
+	x := s.xs[i]
+	// k nearest source neighbours, excluding the instance itself — its
+	// own label must not inflate its class confidence.
+	k := s.cfg.K
+	nnS := s.srcTree.KNN(x, k, func(id int) bool { return id == i })
+	nnT := s.tgtTree.KNN(x, k, nil)
+
+	sims := InstanceSimilarities{SimC: 1, SimL: 1, SimV: 1}
+
+	// Equation (1): fraction of source neighbours sharing the label.
+	if len(nnS) > 0 {
+		same := 0
+		for _, n := range nnS {
+			if s.ys[n.ID] == s.ys[i] {
+				same++
+			}
+		}
+		sims.SimC = float64(same) / float64(len(nnS))
+	}
+
+	// Equation (2): exponential decay of the normalised distance
+	// between the neighbourhood centroids.
+	if len(nnS) > 0 && len(nnT) > 0 && s.sqrtM > 0 {
+		cS := kdtree.Centroid(s.xs, nnS, len(x))
+		cT := kdtree.Centroid(s.xt, nnT, len(x))
+		dist := kdtree.Dist(cS, cT) / s.sqrtM
+		sims.SimL = math.Exp(-decayRate * dist)
+	}
+
+	// LocIT covariance similarity (Table 4's "+ sim_v" ablation): the
+	// Frobenius distance between the two neighbourhoods' covariance
+	// matrices, pushed through the same decay.
+	if s.cfg.EnableSimV && len(nnS) > 1 && len(nnT) > 1 {
+		covS := neighbourhoodCovariance(s.xs, nnS, len(x))
+		covT := neighbourhoodCovariance(s.xt, nnT, len(x))
+		d := 0.0
+		for j := range covS {
+			diff := covS[j] - covT[j]
+			d += diff * diff
+		}
+		m := float64(len(x))
+		sims.SimV = math.Exp(-decayRate * math.Sqrt(d) / m)
+	}
+	return sims
+}
+
+// neighbourhoodCovariance returns the flattened covariance matrix of
+// the neighbourhood points.
+func neighbourhoodCovariance(points [][]float64, nn []kdtree.Neighbour, dim int) []float64 {
+	mean := kdtree.Centroid(points, nn, dim)
+	cov := make([]float64, dim*dim)
+	for _, n := range nn {
+		p := points[n.ID]
+		for a := 0; a < dim; a++ {
+			da := p[a] - mean[a]
+			for b := 0; b < dim; b++ {
+				cov[a*dim+b] += da * (p[b] - mean[b])
+			}
+		}
+	}
+	inv := 1 / float64(len(nn))
+	for j := range cov {
+		cov[j] *= inv
+	}
+	return cov
+}
+
+// accepted applies the configured thresholds/ablations.
+func (s *selector) accepted(sims InstanceSimilarities) bool {
+	if !s.cfg.DisableSimC && sims.SimC < s.cfg.TC {
+		return false
+	}
+	if !s.cfg.DisableSimL && sims.SimL < s.cfg.TL {
+		return false
+	}
+	if s.cfg.EnableSimV && sims.SimV < s.cfg.TV {
+		return false
+	}
+	return true
+}
+
+// selectInstances runs the SEL phase in parallel and returns the
+// indices of the transferred instances, in order.
+//
+// Real linkage feature matrices contain heavily repeated vectors
+// (Table 1 of the paper counts them), and both SEL similarities depend
+// on an instance only through its feature vector and label: duplicates
+// at distance zero contribute identical neighbour label multisets
+// regardless of which copy is excluded as "self". The decision is
+// therefore computed once per distinct (vector, label) group and
+// shared by all group members, which turns the O(n) KNN queries into
+// O(#distinct groups) without changing any result.
+func (s *selector) selectInstances() []int {
+	n := len(s.xs)
+	type group struct {
+		rep     int // representative instance index
+		members []int
+	}
+	byKey := make(map[string]*group)
+	var order []*group
+	var keyBuf []byte
+	for i := 0; i < n; i++ {
+		keyBuf = keyBuf[:0]
+		for _, v := range s.xs[i] {
+			keyBuf = appendFloatKey(keyBuf, v)
+		}
+		keyBuf = append(keyBuf, byte('0'+s.ys[i]))
+		k := string(keyBuf)
+		g := byKey[k]
+		if g == nil {
+			g = &group{rep: i}
+			byKey[k] = g
+			order = append(order, g)
+		}
+		g.members = append(g.members, i)
+	}
+
+	keep := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(order) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, g := range order[lo:hi] {
+				if s.accepted(s.similaritiesFor(g.rep)) {
+					for _, m := range g.members {
+						keep[m] = true
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	out := make([]int, 0, n)
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// appendFloatKey appends a compact exact encoding of v.
+func appendFloatKey(dst []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	for sh := 0; sh < 64; sh += 8 {
+		dst = append(dst, byte(bits>>sh))
+	}
+	return dst
+}
+
+// SelectInstances exposes the SEL phase standalone: it returns the
+// indices of the source instances TransER would transfer under cfg.
+// It is used by ablation studies and by callers that want to reuse
+// the selector with their own downstream classifier.
+func SelectInstances(xs [][]float64, ys []int, xt [][]float64, cfg Config) []int {
+	cfg = cfg.withDefaults()
+	if cfg.DisableSEL {
+		out := make([]int, len(xs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return newSelector(xs, ys, xt, cfg).selectInstances()
+}
+
+// Similarities computes the SEL similarity scores for every source
+// instance without filtering (diagnostic API).
+func Similarities(xs [][]float64, ys []int, xt [][]float64, cfg Config) []InstanceSimilarities {
+	cfg = cfg.withDefaults()
+	sel := newSelector(xs, ys, xt, cfg)
+	out := make([]InstanceSimilarities, len(xs))
+	for i := range xs {
+		out[i] = sel.similaritiesFor(i)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"transer/internal/ml"
+	"transer/internal/sampling"
+)
+
+// Run executes TransER on one source→target task.
+//
+// Inputs are the source feature matrix xs with labels ys, the target
+// feature matrix xt, a classifier factory (fresh instances are trained
+// in the GEN and TCL phases), and the configuration. It returns the
+// final target labels with probabilities and per-phase statistics.
+func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("core: empty source feature matrix")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("core: %d source rows but %d labels", len(xs), len(ys))
+	}
+	if len(xt) == 0 {
+		return nil, errors.New("core: empty target feature matrix")
+	}
+	m := len(xs[0])
+	for i, row := range xt {
+		if len(row) != m {
+			return nil, fmt.Errorf("core: target row %d has %d features, source has %d (feature spaces must be homogeneous)", i, len(row), m)
+		}
+	}
+	if factory == nil {
+		return nil, errors.New("core: nil classifier factory")
+	}
+
+	res := &Result{Stats: Stats{
+		SourceInstances: len(xs),
+		TargetInstances: len(xt),
+	}}
+
+	// Phase (i): instance selector — lines 1-9 of Algorithm 1.
+	selStart := time.Now()
+	selected := SelectInstances(xs, ys, xt, cfg)
+	if len(selected) == 0 || singleClass(ys, selected) {
+		// Degenerate selection: fall back to the full source so a
+		// classifier can still be trained. The paper's data never
+		// triggers this; extreme thresholds (t_c = t_l = 1.0) can.
+		selected = selected[:0]
+		for i := range xs {
+			selected = append(selected, i)
+		}
+		res.Stats.SelectedFallback = true
+	}
+	xu := make([][]float64, len(selected))
+	yu := make([]int, len(selected))
+	for i, idx := range selected {
+		xu[i] = xs[idx]
+		yu[i] = ys[idx]
+	}
+	res.Stats.Selected = len(xu)
+	res.Stats.SelTime = time.Since(selStart)
+
+	// Phase (ii): pseudo label generator — lines 10-11.
+	genStart := time.Now()
+	cu, err := ml.FitWithFallback(factory, xu, yu)
+	if err != nil {
+		return nil, fmt.Errorf("core: GEN training failed: %w", err)
+	}
+	proba := cu.PredictProba(xt)
+	res.PseudoLabels = ml.Labels(proba, 0.5)
+	res.PseudoConfidence = make([]float64, len(proba))
+	for i, p := range proba {
+		res.PseudoConfidence[i] = ml.Confidence(p)
+	}
+	res.Stats.GenTime = time.Since(genStart)
+
+	if cfg.DisableGENTCL {
+		// Ablation "without GEN & TCL": classify the target directly
+		// with the classifier trained on the transferred instances.
+		res.Labels = ml.Labels(proba, 0.5)
+		res.Proba = proba
+		return res, nil
+	}
+
+	// Phase (iii): target domain classifier — lines 12-20.
+	tclStart := time.Now()
+	var xv [][]float64
+	var yv []int
+	for i, z := range res.PseudoConfidence {
+		if z >= cfg.TP {
+			xv = append(xv, xt[i])
+			yv = append(yv, res.PseudoLabels[i])
+		}
+	}
+	res.Stats.HighConfidence = len(xv)
+
+	// A usable TCL training set needs both classes and enough rows for
+	// the classifier to generalise; otherwise GEN's predictions are the
+	// better answer.
+	const minTCLTrain = 20
+	xvb, yvb := sampling.UnderSample(xv, yv, cfg.B, cfg.Seed)
+	if len(xvb) < minTCLTrain || allSame(yvb) {
+		// No usable pseudo-labelled training set: return GEN's
+		// predictions directly rather than failing the task.
+		res.Labels = ml.Labels(proba, 0.5)
+		res.Proba = proba
+		res.Stats.TCLFallback = true
+		res.Stats.TclTime = time.Since(tclStart)
+		return res, nil
+	}
+
+	res.Stats.BalancedTrain = len(xvb)
+	cv, err := ml.FitWithFallback(factory, xvb, yvb)
+	if err != nil {
+		return nil, fmt.Errorf("core: TCL training failed: %w", err)
+	}
+	finalProba := cv.PredictProba(xt)
+	res.Labels = ml.Labels(finalProba, 0.5)
+	res.Proba = finalProba
+	res.Stats.TclTime = time.Since(tclStart)
+	return res, nil
+}
+
+func singleClass(ys []int, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := ys[idx[0]]
+	for _, i := range idx[1:] {
+		if ys[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func allSame(y []int) bool {
+	if len(y) == 0 {
+		return true
+	}
+	for _, v := range y[1:] {
+		if v != y[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package datagen
+
+import (
+	"strconv"
+	"testing"
+
+	"transer/internal/dataset"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "t", Kind: Bibliographic, Seed: 1,
+		NumEntities: 200, FracA: 0.8, FracB: 0.8, AmbiguityFrac: 0.1,
+		NoiseA: NoiseProfile{Rate: 0.1, MissRate: 0.01, AbbrevRate: 0.02},
+		NoiseB: NoiseProfile{Rate: 0.2, MissRate: 0.02, AbbrevRate: 0.05},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, b1 := Generate(smallSpec())
+	a2, b2 := Generate(smallSpec())
+	if len(a1.Records) != len(a2.Records) || len(b1.Records) != len(b2.Records) {
+		t.Fatalf("sizes differ between runs")
+	}
+	for i := range a1.Records {
+		if a1.Records[i].ID != a2.Records[i].ID {
+			t.Fatalf("record ids differ at %d", i)
+		}
+		for j := range a1.Records[i].Values {
+			if a1.Records[i].Values[j] != a2.Records[i].Values[j] {
+				t.Fatalf("values differ at record %d attr %d", i, j)
+			}
+		}
+	}
+	// Different seed produces different data.
+	s := smallSpec()
+	s.Seed = 2
+	a3, _ := Generate(s)
+	same := len(a3.Records) == len(a1.Records)
+	if same {
+		for i := range a1.Records {
+			if a1.Records[i].ID != a3.Records[i].ID || a1.Records[i].Values[0] != a3.Records[i].Values[0] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidatesAndMatches(t *testing.T) {
+	a, b := Generate(smallSpec())
+	if err := a.Validate(); err != nil {
+		t.Fatalf("db A invalid: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("db B invalid: %v", err)
+	}
+	if !a.Schema.Equal(b.Schema) {
+		t.Errorf("sides should share a schema")
+	}
+	truth := dataset.GroundTruth(a, b)
+	if len(truth) == 0 {
+		t.Errorf("expected overlapping entities (true matches)")
+	}
+	// Overlap should be a strict subset of both sides.
+	if len(truth) >= len(a.Records) || len(truth) >= len(b.Records) {
+		t.Errorf("every record matched; expected partial overlap (truth=%d, |A|=%d, |B|=%d)",
+			len(truth), len(a.Records), len(b.Records))
+	}
+}
+
+func TestSiblingEntitiesAreDistinctButSimilar(t *testing.T) {
+	s := smallSpec()
+	s.Kind = Music
+	s.AmbiguityFrac = 1.0 // force a sibling for every entity
+	a, _ := Generate(s)
+	// Find a base/sibling pair that both landed in A.
+	byEntity := map[string][]string{}
+	for _, r := range a.Records {
+		byEntity[r.EntityID] = r.Values
+	}
+	found := 0
+	for id, vals := range byEntity {
+		sib, ok := byEntity[id+"-sib"]
+		if !ok {
+			continue
+		}
+		found++
+		if vals[0] == sib[0] && vals[1] == sib[1] && vals[3] == sib[3] {
+			t.Errorf("sibling of %s identical in title+album+year", id)
+		}
+	}
+	if found == 0 {
+		t.Skip("no base/sibling pair co-occurred in A at this seed")
+	}
+}
+
+func TestAllKindsGenerate(t *testing.T) {
+	for _, k := range []Kind{Bibliographic, Music, DemographicBpDp, DemographicBpBp} {
+		s := smallSpec()
+		s.Kind = k
+		a, b := Generate(s)
+		if err := a.Validate(); err != nil {
+			t.Errorf("kind %d: invalid A: %v", k, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("kind %d: invalid B: %v", k, err)
+		}
+		wantM := map[Kind]int{Bibliographic: 4, Music: 5, DemographicBpDp: 8, DemographicBpBp: 11}[k]
+		if got := a.Schema.NumAttributes(); got != wantM {
+			t.Errorf("kind %d: schema width %d, want %d", k, got, wantM)
+		}
+	}
+}
+
+func TestYearValuesParse(t *testing.T) {
+	a, _ := Generate(smallSpec())
+	yearIdx := -1
+	for j, attr := range a.Schema.Attributes {
+		if attr.Type == dataset.AttrYear {
+			yearIdx = j
+		}
+	}
+	if yearIdx < 0 {
+		t.Fatal("no year attribute")
+	}
+	for _, r := range a.Records {
+		v := r.Values[yearIdx]
+		if v == "" {
+			continue // missing values allowed
+		}
+		if _, err := strconv.Atoi(v); err != nil {
+			t.Fatalf("year value %q not an int", v)
+		}
+	}
+}
+
+func TestPaperTasks(t *testing.T) {
+	tasks := PaperTasks(0.02)
+	if len(tasks) != 8 {
+		t.Fatalf("expected 8 tasks, got %d", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.Name()] {
+			t.Errorf("duplicate task %s", task.Name())
+		}
+		seen[task.Name()] = true
+		if !task.Source.A.Schema.Equal(task.Target.A.Schema) {
+			t.Errorf("%s: source and target feature spaces differ (homogeneity broken)", task.Name())
+		}
+		if len(task.Source.Truth()) == 0 || len(task.Target.Truth()) == 0 {
+			t.Errorf("%s: no ground truth matches", task.Name())
+		}
+	}
+}
+
+func TestRepresentativeTasks(t *testing.T) {
+	tasks := RepresentativeTasks(0.02)
+	if len(tasks) != 3 {
+		t.Fatalf("expected 3 representative tasks, got %d", len(tasks))
+	}
+}
+
+func TestScaleN(t *testing.T) {
+	if scaleN(1000, 0.5) != 500 {
+		t.Errorf("scaleN(1000, 0.5) = %d", scaleN(1000, 0.5))
+	}
+	if scaleN(1000, 0.001) != 40 {
+		t.Errorf("scaleN floor not applied: %d", scaleN(1000, 0.001))
+	}
+}
+
+func TestCorruptorOps(t *testing.T) {
+	s := smallSpec()
+	s.NoiseA = NoiseProfile{Rate: 1.0, MissRate: 0, AbbrevRate: 0}
+	a, _ := Generate(s)
+	// With rate 1.0 at least some values must differ from clean
+	// regeneration with rate 0.
+	s2 := smallSpec()
+	s2.NoiseA = NoiseProfile{}
+	s2.NoiseB = NoiseProfile{}
+	clean, _ := Generate(s2)
+	if len(a.Records) == 0 || len(clean.Records) == 0 {
+		t.Fatal("no records generated")
+	}
+	// Same seed ⇒ same entities; corrupted values should differ somewhere.
+	diff := false
+	n := len(a.Records)
+	if len(clean.Records) < n {
+		n = len(clean.Records)
+	}
+	for i := 0; i < n && !diff; i++ {
+		for j := range a.Records[i].Values {
+			if a.Records[i].Values[j] != clean.Records[i].Values[j] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Errorf("full-rate corruption changed nothing")
+	}
+}

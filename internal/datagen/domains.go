@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"transer/internal/blocking"
+	"transer/internal/dataset"
+)
+
+// DomainPair is one ER domain: the two databases to link plus the
+// ground-truth match set between them.
+type DomainPair struct {
+	Name string
+	A, B *dataset.Database
+	// Blocking is the recommended MinHash-LSH configuration for this
+	// domain (zero value = package defaults). Domain-appropriate
+	// blocking — parent names with a tighter threshold for
+	// certificates, title+artist for songs — mirrors standard ER
+	// practice and keeps the candidate class skew in the range the
+	// paper's Table 1 reports.
+	Blocking blocking.MinHashConfig
+}
+
+// Truth returns the ground-truth match pair set of the domain.
+func (d DomainPair) Truth() dataset.PairSet { return dataset.GroundTruth(d.A, d.B) }
+
+// scaleN scales a base entity count, keeping at least a workable
+// minimum so tiny test scales still produce both classes.
+func scaleN(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 40 {
+		n = 40
+	}
+	return n
+}
+
+// The seven data set stand-ins below mirror the paper's Table 1 pairs.
+// Relative sizes follow the paper's ordering (bibliographic smallest,
+// demographic largest); noise and ambiguity knobs are chosen so that
+// the Table 1 shape (clean DBLP-ACM, dirty Scholar, highly ambiguous
+// Musicbrainz, large ambiguous certificate data) is reproduced.
+
+// DBLPACM is the clean bibliographic pair (simple scenario, low noise,
+// low ambiguity).
+func DBLPACM(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "dblp-acm", Kind: Bibliographic, Seed: 101,
+		NumEntities: scaleN(700, scale), FracA: 0.85, FracB: 0.80,
+		AmbiguityFrac: 0.04,
+		NoiseA:        NoiseProfile{Rate: 0.08, MissRate: 0.01, AbbrevRate: 0.02},
+		NoiseB:        NoiseProfile{Rate: 0.10, MissRate: 0.01, AbbrevRate: 0.03},
+	})
+	return DomainPair{Name: "DBLP-ACM", A: a, B: b}
+}
+
+// DBLPScholar is the dirty bibliographic pair: the B side models
+// Google-Scholar-style scraped records with abbreviations, missing
+// values, and frequent typos.
+func DBLPScholar(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "dblp-scholar", Kind: Bibliographic, Seed: 202,
+		NumEntities: scaleN(1400, scale), FracA: 0.75, FracB: 0.85,
+		AmbiguityFrac: 0.05,
+		NoiseA:        NoiseProfile{Rate: 0.08, MissRate: 0.01, AbbrevRate: 0.02},
+		NoiseB:        NoiseProfile{Rate: 0.30, MissRate: 0.06, AbbrevRate: 0.25, FormatShiftRate: 0.15},
+	})
+	return DomainPair{Name: "DBLP-Scholar", A: a, B: b}
+}
+
+// MSD is the Million-Songs-like music pair: moderate noise, moderate
+// ambiguity.
+func MSD(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "msd", Kind: Music, Seed: 303,
+		NumEntities: scaleN(1800, scale), FracA: 0.80, FracB: 0.80,
+		AmbiguityFrac: 0.08,
+		NoiseA:        NoiseProfile{Rate: 0.08, MissRate: 0.01, AbbrevRate: 0.02},
+		NoiseB:        NoiseProfile{Rate: 0.10, MissRate: 0.01, AbbrevRate: 0.03},
+	})
+	return DomainPair{Name: "MSD", A: a, B: b, Blocking: musicBlocking}
+}
+
+// MB is the Musicbrainz-like music pair: the most ambiguous data set
+// (many re-releases/remixes — conflicting labels for identical feature
+// vectors), mirroring the 22% ambiguous fraction of Table 1.
+func MB(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "mb", Kind: Music, Seed: 404,
+		NumEntities: scaleN(3200, scale), FracA: 0.80, FracB: 0.85,
+		AmbiguityFrac: 0.45,
+		NoiseA:        NoiseProfile{Rate: 0.28, MissRate: 0.10, AbbrevRate: 0.04, FormatShiftRate: 0.05},
+		NoiseB:        NoiseProfile{Rate: 0.32, MissRate: 0.12, AbbrevRate: 0.05, FormatShiftRate: 0.20},
+	})
+	return DomainPair{Name: "MB", A: a, B: b, Blocking: musicBlocking}
+}
+
+// IOSBpDp is the smaller (Isle of Skye) 8-attribute certificate pair.
+func IOSBpDp(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "ios-bpdp", Kind: DemographicBpDp, Seed: 505,
+		NumEntities: scaleN(4200, scale), FracA: 0.75, FracB: 0.80,
+		AmbiguityFrac: 0.12,
+		Vocab:         iosVocab,
+		NoiseA:        NoiseProfile{Rate: 0.14, MissRate: 0.02, AbbrevRate: 0.03},
+		NoiseB:        NoiseProfile{Rate: 0.17, MissRate: 0.03, AbbrevRate: 0.04},
+	})
+	return DomainPair{Name: "IOS-Bp-Dp", A: a, B: b, Blocking: demogBlocking}
+}
+
+// KILBpDp is the larger (Kilmarnock) 8-attribute certificate pair with
+// a different noise profile (marginal shift against IOS).
+func KILBpDp(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "kil-bpdp", Kind: DemographicBpDp, Seed: 606,
+		NumEntities: scaleN(7000, scale), FracA: 0.80, FracB: 0.85,
+		AmbiguityFrac: 0.45,
+		NoiseA:        NoiseProfile{Rate: 0.19, MissRate: 0.04, AbbrevRate: 0.05, FormatShiftRate: 0.05},
+		NoiseB:        NoiseProfile{Rate: 0.22, MissRate: 0.06, AbbrevRate: 0.06, FormatShiftRate: 0.15},
+	})
+	return DomainPair{Name: "KIL-Bp-Dp", A: a, B: b, Blocking: demogBlocking}
+}
+
+// IOSBpBp is the 11-attribute Isle-of-Skye birth-birth pair.
+func IOSBpBp(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "ios-bpbp", Kind: DemographicBpBp, Seed: 707,
+		NumEntities: scaleN(5200, scale), FracA: 0.80, FracB: 0.80,
+		AmbiguityFrac: 0.12,
+		Vocab:         iosVocab,
+		NoiseA:        NoiseProfile{Rate: 0.15, MissRate: 0.02, AbbrevRate: 0.03},
+		NoiseB:        NoiseProfile{Rate: 0.17, MissRate: 0.03, AbbrevRate: 0.04},
+	})
+	return DomainPair{Name: "IOS-Bp-Bp", A: a, B: b, Blocking: demogBlocking}
+}
+
+// KILBpBp is the largest pair: the 11-attribute Kilmarnock birth-birth
+// certificates.
+func KILBpBp(scale float64) DomainPair {
+	a, b := Generate(Spec{
+		Name: "kil-bpbp", Kind: DemographicBpBp, Seed: 808,
+		NumEntities: scaleN(8400, scale), FracA: 0.82, FracB: 0.85,
+		AmbiguityFrac: 0.40,
+		NoiseA:        NoiseProfile{Rate: 0.20, MissRate: 0.04, AbbrevRate: 0.05, FormatShiftRate: 0.05},
+		NoiseB:        NoiseProfile{Rate: 0.23, MissRate: 0.06, AbbrevRate: 0.06, FormatShiftRate: 0.12},
+	})
+	return DomainPair{Name: "KIL-Bp-Bp", A: a, B: b, Blocking: demogBlocking}
+}
+
+// iosVocab models the Isle of Skye's small isolated population: a
+// handful of clan surnames, crofting occupations and island parishes
+// dominate, stripping those attributes of discriminative power
+// relative to the larger town of Kilmarnock — a class-conditional
+// difference between the two demographic domains.
+var iosVocab = VocabProfile{
+	Surnames: 0.6, FirstNames: 0.8, Occupations: 0.5, Streets: 0.8, Parishes: 0.6,
+}
+
+// demogBlocking shingles the four parent-name attributes with a
+// tighter LSH threshold (r = 4, ≈0.5 Jaccard): certificate linkage
+// blocks on parent names, and the name vocabulary's natural collisions
+// already supply the non-match candidates. musicBlocking shingles
+// title and artist at the default threshold.
+var (
+	demogBlocking = blocking.MinHashConfig{NumHashes: 60, Bands: 12, Attrs: []int{0, 1, 2, 3}}
+	musicBlocking = blocking.MinHashConfig{Attrs: []int{0, 2}}
+)
+
+// TransferTask is one source→target row of the paper's Tables 2 and 3.
+type TransferTask struct {
+	Source, Target DomainPair
+}
+
+// Name formats the task as "source → target".
+func (t TransferTask) Name() string { return t.Source.Name + " -> " + t.Target.Name }
+
+// PaperTasks returns the eight source→target pairs evaluated in the
+// paper's Table 2, at the given size scale.
+func PaperTasks(scale float64) []TransferTask {
+	dblpacm := DBLPACM(scale)
+	dblpscholar := DBLPScholar(scale)
+	msd := MSD(scale)
+	mb := MB(scale)
+	iosBpDp := IOSBpDp(scale)
+	kilBpDp := KILBpDp(scale)
+	iosBpBp := IOSBpBp(scale)
+	kilBpBp := KILBpBp(scale)
+	return []TransferTask{
+		{Source: dblpacm, Target: dblpscholar},
+		{Source: dblpscholar, Target: dblpacm},
+		{Source: msd, Target: mb},
+		{Source: mb, Target: msd},
+		{Source: iosBpDp, Target: kilBpDp},
+		{Source: kilBpDp, Target: iosBpDp},
+		{Source: iosBpBp, Target: kilBpBp},
+		{Source: kilBpBp, Target: iosBpBp},
+	}
+}
+
+// RepresentativeTasks returns the three pairs used in the paper's
+// Sections 5.2.3-5.4 (one bibliographic, one music, one demographic).
+func RepresentativeTasks(scale float64) []TransferTask {
+	return []TransferTask{
+		{Source: DBLPACM(scale), Target: DBLPScholar(scale)},
+		{Source: MB(scale), Target: MSD(scale)},
+		{Source: KILBpDp(scale), Target: IOSBpDp(scale)},
+	}
+}

@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocabularies for the three synthetic domains. The lists are small but
+// are expanded combinatorially (given/surname pairs, multi-word titles,
+// syllable-composed surnames) so generated databases have realistic
+// value diversity at any size.
+
+var firstNames = []string{
+	"john", "mary", "william", "elizabeth", "james", "margaret", "george",
+	"janet", "robert", "agnes", "thomas", "catherine", "david", "isabella",
+	"alexander", "ann", "andrew", "jane", "peter", "helen", "charles",
+	"christina", "hugh", "marion", "donald", "euphemia", "duncan", "grace",
+	"angus", "flora", "archibald", "jessie", "walter", "barbara", "henry",
+	"sarah", "samuel", "martha", "patrick", "agnes", "neil", "effie",
+	"malcolm", "mina", "lachlan", "kirsty", "dougal", "morag", "ewan",
+	"sheila", "fergus", "una", "gilbert", "beatrix", "ronald", "edith",
+	"norman", "joan", "kenneth", "alice",
+}
+
+var surnameBases = []string{
+	"smith", "macdonald", "campbell", "stewart", "robertson", "thomson",
+	"anderson", "scott", "murray", "macleod", "reid", "fraser", "ross",
+	"young", "mitchell", "watson", "morrison", "paterson", "grant",
+	"ferguson", "cameron", "davidson", "gray", "henderson", "hamilton",
+	"johnston", "duncan", "graham", "kerr", "simpson", "martin", "taylor",
+	"walker", "wilson", "brown", "miller", "bell", "wallace", "kelly",
+	"hunter", "mackay", "sinclair", "sutherland", "gunn", "munro",
+	"mackenzie", "maclean", "matheson", "nicolson", "beaton",
+}
+
+var surnameSuffixes = []string{"", "", "", "son", "s", "ton", "well", "er", "man", "field", "ie", "burn"}
+
+var occupations = []string{
+	"farmer", "fisherman", "crofter", "weaver", "blacksmith", "carpenter",
+	"mason", "shepherd", "labourer", "shoemaker", "tailor", "merchant",
+	"miner", "sailor", "teacher", "baker", "butcher", "cooper", "joiner",
+	"gardener", "servant", "clerk", "millworker", "dyer", "slater",
+	"plumber", "printer", "saddler", "tanner", "wright", "boatman",
+	"gamekeeper", "innkeeper", "grocer", "draper", "hawker", "porter",
+	"quarrier", "engineman", "flesher",
+}
+
+var streetNames = []string{
+	"high street", "church road", "mill lane", "station road", "main street",
+	"king street", "queen street", "bridge street", "castle road",
+	"harbour view", "school brae", "shore street", "glebe road",
+	"north street", "south street", "east road", "west end", "union street",
+	"market square", "victoria road", "albert place", "george street",
+	"portland place", "argyle street", "bank street", "cross street",
+	"ferry road", "manse road", "seaview terrace", "braeside",
+}
+
+var parishes = []string{
+	"portree", "snizort", "kilmuir", "duirinish", "bracadale", "strath",
+	"sleat", "kilmarnock", "riccarton", "fenwick", "dreghorn", "irvine",
+	"dundonald", "symington", "craigie", "galston", "loudoun", "stewarton",
+	"dunlop", "kilmaurs",
+}
+
+var titleWords = []string{
+	"adaptive", "efficient", "scalable", "distributed", "parallel",
+	"incremental", "probabilistic", "robust", "temporal", "semantic",
+	"query", "index", "join", "stream", "graph", "cluster", "schema",
+	"entity", "record", "data", "learning", "transfer", "matching",
+	"linkage", "resolution", "detection", "integration", "optimization",
+	"processing", "analysis", "mining", "retrieval", "classification",
+	"estimation", "evaluation", "framework", "system", "model", "method",
+	"approach", "algorithm", "structure", "database", "knowledge",
+	"information", "network", "similarity", "blocking", "crowdsourcing",
+	"privacy", "provenance", "workload", "cardinality", "selectivity",
+	"compression", "partitioning", "replication", "transaction",
+	"concurrency", "recovery", "benchmark", "storage", "memory", "cache",
+	"hardware", "adaptive", "approximate", "declarative", "federated",
+}
+
+var venues = []string{
+	"sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "icdm", "sdm", "wsdm",
+	"www", "acl", "emnlp", "aaai", "ijcai", "icml", "neurips", "pods",
+	"dasfaa", "pakdd", "ecml", "jmlr", "tkde", "tods", "vldbj", "dmkd",
+}
+
+var venueLong = map[string]string{
+	"sigmod":  "international conference on management of data",
+	"vldb":    "very large data bases",
+	"icde":    "international conference on data engineering",
+	"edbt":    "international conference on extending database technology",
+	"cikm":    "conference on information and knowledge management",
+	"kdd":     "knowledge discovery and data mining",
+	"icdm":    "international conference on data mining",
+	"www":     "the web conference",
+	"acl":     "association for computational linguistics",
+	"aaai":    "conference on artificial intelligence",
+	"icml":    "international conference on machine learning",
+	"neurips": "neural information processing systems",
+	"tkde":    "transactions on knowledge and data engineering",
+	"tods":    "transactions on database systems",
+}
+
+var musicWords = []string{
+	"love", "night", "heart", "dream", "fire", "rain", "dance", "blue",
+	"light", "shadow", "river", "moon", "star", "road", "home", "time",
+	"summer", "winter", "golden", "silver", "broken", "wild", "sweet",
+	"lonely", "crazy", "electric", "midnight", "morning", "city", "ocean",
+	"thunder", "velvet", "crystal", "neon", "paper", "glass", "stone",
+	"mirror", "echo", "ghost", "angel", "devil", "heaven", "paradise",
+	"rhythm", "soul", "fever", "magic", "silence", "horizon",
+}
+
+var artistWords = []string{
+	"the", "black", "red", "white", "electric", "royal", "silver", "wild",
+	"sonic", "cosmic", "velvet", "crimson", "arctic", "neon", "lunar",
+	"golden", "midnight", "phantom", "savage", "mystic",
+}
+
+var artistNouns = []string{
+	"keys", "wolves", "tigers", "rebels", "saints", "kings", "queens",
+	"pilots", "monkeys", "foxes", "ravens", "ghosts", "echoes", "waves",
+	"stones", "roses", "strangers", "drifters", "ramblers", "sparrows",
+}
+
+var albumWords = []string{
+	"sessions", "anthology", "collection", "live", "unplugged", "remixed",
+	"deluxe", "acoustic", "studio", "greatest hits", "volume one",
+	"volume two", "ep", "singles", "rarities", "demos",
+}
+
+// pick returns a uniformly random element of list.
+func pick[T any](rng *rand.Rand, list []T) T {
+	return list[rng.Intn(len(list))]
+}
+
+// personName draws a "first surname" full name. First names carry an
+// occasional second given name so the name space is large enough that
+// unrelated entities rarely collide on full names (collisions would
+// flood blocking with non-match candidates far beyond the class skew
+// real certificate data shows).
+func personName(rng *rand.Rand) (first, surname string) {
+	first = pick(rng, firstNames)
+	if rng.Float64() < 0.5 {
+		first += " " + pick(rng, firstNames)
+	}
+	surname = pick(rng, surnameBases) + pick(rng, surnameSuffixes)
+	return first, surname
+}
+
+// paperTitle composes a plausible publication title of 4-8 vocabulary
+// words with a serial number mixed in occasionally so titles rarely
+// collide across entities.
+func paperTitle(rng *rand.Rand, serial int) string {
+	n := 4 + rng.Intn(5)
+	words := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		words = append(words, pick(rng, titleWords))
+	}
+	if rng.Float64() < 0.6 {
+		words = append(words, fmt.Sprintf("p%d", serial))
+	}
+	return strings.Join(words, " ")
+}
+
+// songTitle composes a 2-4 word song title.
+func songTitle(rng *rand.Rand, serial int) string {
+	n := 2 + rng.Intn(3)
+	words := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		words = append(words, pick(rng, musicWords))
+	}
+	if rng.Float64() < 0.5 {
+		words = append(words, fmt.Sprintf("s%d", serial))
+	}
+	return strings.Join(words, " ")
+}
+
+// artistName composes a band-style artist name.
+func artistName(rng *rand.Rand) string {
+	if rng.Float64() < 0.4 {
+		f, s := personName(rng)
+		return f + " " + s
+	}
+	return pick(rng, artistWords) + " " + pick(rng, artistNouns)
+}
+
+// albumName composes an album title, sometimes derived from a song
+// title (self-titled single releases are a major ambiguity source in
+// real music catalogues, cf. the Musicbrainz example in the paper).
+func albumName(rng *rand.Rand, song string) string {
+	switch rng.Intn(4) {
+	case 0:
+		return song // single / title track
+	case 1:
+		return song + " " + pick(rng, albumWords)
+	default:
+		return pick(rng, musicWords) + " " + pick(rng, albumWords)
+	}
+}
+
+// authorList composes 1-3 "f. surname" author names.
+func authorList(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		f, s := personName(rng)
+		parts[i] = f + " " + s
+	}
+	return strings.Join(parts, ", ")
+}

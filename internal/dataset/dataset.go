@@ -1,0 +1,190 @@
+// Package dataset defines the record model shared across the ER
+// pipeline: schemas of typed attributes, records, databases, candidate
+// record pairs, and ground-truth match sets, plus CSV serialisation so
+// generated data sets can be inspected and reused.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrType describes how an attribute's values are compared in the
+// record pair comparison step.
+type AttrType int
+
+const (
+	// AttrName is a short personal-name-like string compared with
+	// Jaro-Winkler (paper Section 5.1.1).
+	AttrName AttrType = iota
+	// AttrText is longer free text (titles, venues) compared with
+	// token Jaccard.
+	AttrText
+	// AttrCode is a short code-like string (postcodes, catalogue ids)
+	// compared with normalised edit distance.
+	AttrCode
+	// AttrYear is an integer year compared with a tolerance window.
+	AttrYear
+	// AttrNumeric is a general numeric value compared with a linear
+	// tolerance.
+	AttrNumeric
+)
+
+// String returns the attribute type's name.
+func (t AttrType) String() string {
+	switch t {
+	case AttrName:
+		return "name"
+	case AttrText:
+		return "text"
+	case AttrCode:
+		return "code"
+	case AttrYear:
+		return "year"
+	case AttrNumeric:
+		return "numeric"
+	}
+	return fmt.Sprintf("AttrType(%d)", int(t))
+}
+
+// Attribute is one typed column of a schema.
+type Attribute struct {
+	Name string
+	Type AttrType
+}
+
+// Schema is the ordered attribute list of a database. Source and
+// target domains in the homogeneous TL setting share the same schema
+// (the same feature space X).
+type Schema struct {
+	Attributes []Attribute
+}
+
+// NumAttributes returns the schema width m.
+func (s Schema) NumAttributes() int { return len(s.Attributes) }
+
+// Names returns the attribute names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Attributes))
+	for i, a := range s.Attributes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical attribute names and
+// types in the same order — the homogeneity precondition of TransER.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attributes) != len(o.Attributes) {
+		return false
+	}
+	for i := range s.Attributes {
+		if s.Attributes[i] != o.Attributes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Record is one entity description: an identifier, the identifier of
+// the underlying true entity (ground truth, empty when unknown), and
+// values aligned with the database schema.
+type Record struct {
+	ID       string
+	EntityID string
+	Values   []string
+}
+
+// Database is a schema plus its records.
+type Database struct {
+	Name    string
+	Schema  Schema
+	Records []Record
+}
+
+// NumRecords returns the record count.
+func (db *Database) NumRecords() int { return len(db.Records) }
+
+// Validate checks that every record matches the schema width and that
+// record ids are unique.
+func (db *Database) Validate() error {
+	m := db.Schema.NumAttributes()
+	seen := make(map[string]bool, len(db.Records))
+	for i, r := range db.Records {
+		if len(r.Values) != m {
+			return fmt.Errorf("dataset: record %d (%s) has %d values, schema has %d attributes", i, r.ID, len(r.Values), m)
+		}
+		if r.ID == "" {
+			return fmt.Errorf("dataset: record %d has empty id", i)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("dataset: duplicate record id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}
+
+// Pair identifies a candidate record pair by indices into two
+// databases (A-side and B-side).
+type Pair struct {
+	A, B int
+}
+
+// PairSet is a set of record pairs keyed by index pair.
+type PairSet map[Pair]bool
+
+// Add inserts a pair.
+func (ps PairSet) Add(a, b int) { ps[Pair{a, b}] = true }
+
+// Contains reports membership.
+func (ps PairSet) Contains(a, b int) bool { return ps[Pair{a, b}] }
+
+// Sorted returns the pairs in deterministic (A, then B) order.
+func (ps PairSet) Sorted() []Pair {
+	out := make([]Pair, 0, len(ps))
+	for p := range ps {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// GroundTruth computes the true match pair set between two databases
+// from their records' entity ids: a pair is a true match iff both
+// records carry the same non-empty EntityID.
+func GroundTruth(a, b *Database) PairSet {
+	byEntity := make(map[string][]int)
+	for i, r := range a.Records {
+		if r.EntityID != "" {
+			byEntity[r.EntityID] = append(byEntity[r.EntityID], i)
+		}
+	}
+	out := make(PairSet)
+	for j, r := range b.Records {
+		if r.EntityID == "" {
+			continue
+		}
+		for _, i := range byEntity[r.EntityID] {
+			out.Add(i, j)
+		}
+	}
+	return out
+}
+
+// LabelPairs converts candidate pairs into a binary label vector using
+// the ground truth set: 1 for a match, 0 for a non-match.
+func LabelPairs(pairs []Pair, truth PairSet) []int {
+	labels := make([]int, len(pairs))
+	for i, p := range pairs {
+		if truth[p] {
+			labels[i] = 1
+		}
+	}
+	return labels
+}

@@ -1,0 +1,117 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordDeterministic(t *testing.T) {
+	e := New(16, 0, 1)
+	a := e.Word("smith")
+	b := e.Word("smith")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same word embedded differently at %d", i)
+		}
+	}
+}
+
+func TestWordUnitNorm(t *testing.T) {
+	e := New(16, 0, 1)
+	v := e.Word("kilmarnock")
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+		t.Errorf("word vector norm %v, want 1", math.Sqrt(n))
+	}
+}
+
+func TestOOVBehaviourWordLevel(t *testing.T) {
+	// Pure word hashing: a one-character typo yields an unrelated
+	// vector (the FastText-OOV failure mode DR reproduces).
+	e := New(32, 0, 1)
+	cos := e.Cosine("smith", "smyth")
+	if math.Abs(cos) > 0.5 {
+		t.Errorf("word-level embedding should not relate typo variants, cosine %v", cos)
+	}
+}
+
+func TestSubwordSharing(t *testing.T) {
+	// With subword blending, typo variants become related.
+	word := New(32, 0, 1)
+	sub := New(32, 1, 1)
+	cw := word.Cosine("smith", "smyth")
+	cs := sub.Cosine("smith", "smyth")
+	if cs <= cw {
+		t.Errorf("subword cosine %v should exceed word-level %v", cs, cw)
+	}
+}
+
+func TestValueAveragesTokens(t *testing.T) {
+	e := New(8, 0, 1)
+	v := e.Value("john smith")
+	j := e.Word("john")
+	s := e.Word("smith")
+	for i := range v {
+		want := (j[i] + s[i]) / 2
+		if math.Abs(v[i]-want) > 1e-12 {
+			t.Fatalf("value embedding is not the token mean at %d", i)
+		}
+	}
+	zero := e.Value("")
+	for _, x := range zero {
+		if x != 0 {
+			t.Errorf("empty value should embed to zero")
+		}
+	}
+}
+
+func TestPairFeatures(t *testing.T) {
+	e := New(8, 0, 1)
+	f := e.PairFeatures("john smith", "john smith")
+	if len(f) != 9 {
+		t.Fatalf("pair feature width %d, want dim+1", len(f))
+	}
+	for i := 0; i < 8; i++ {
+		if f[i] != 0 {
+			t.Errorf("identical values should have zero diff at %d", i)
+		}
+	}
+	if math.Abs(f[8]-1) > 1e-9 {
+		t.Errorf("identical values should have cosine feature 1, got %v", f[8])
+	}
+	// Empty pair: zero vector diff and 0 cosine feature.
+	f = e.PairFeatures("", "")
+	if f[8] != 0 {
+		t.Errorf("empty pair cosine feature = %v, want 0", f[8])
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	e := New(16, 0.5, 2)
+	prop := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		c := e.Cosine(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("cosine out of range: %v", err)
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for non-positive dim")
+		}
+	}()
+	New(0, 0, 1)
+}

@@ -1,0 +1,144 @@
+// Package eval implements the linkage quality measures of the paper's
+// Section 5.1.4: precision, recall, F1, and the interpretable
+// F*-measure of Hand, Christen and Kirielle (2021), plus mean ± std
+// aggregation over classifier ensembles for the result tables.
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion holds binary confusion counts for the match class.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Confuse computes confusion counts from predicted and true labels.
+func Confuse(pred, truth []int) Confusion {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: %d predictions vs %d truths", len(pred), len(truth)))
+	}
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && truth[i] == 1:
+			c.TP++
+		case pred[i] == 1 && truth[i] == 0:
+			c.FP++
+		case pred[i] == 0 && truth[i] == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision = TP / (TP + FP); 0 when nothing was predicted as a match.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall = TP / (TP + FN); 0 when there are no true matches.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FStar is the interpretable F*-measure: TP / (TP + FP + FN)
+// (Hand, Christen, Kirielle 2021). It equals F1 / (2 - F1).
+func (c Confusion) FStar() float64 {
+	den := c.TP + c.FP + c.FN
+	if den == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(den)
+}
+
+// Metrics bundles the four quality measures as percentages, matching
+// the paper's result tables.
+type Metrics struct {
+	Precision, Recall, FStar, F1 float64
+}
+
+// FromConfusion converts counts to percentage metrics.
+func FromConfusion(c Confusion) Metrics {
+	return Metrics{
+		Precision: 100 * c.Precision(),
+		Recall:    100 * c.Recall(),
+		FStar:     100 * c.FStar(),
+		F1:        100 * c.F1(),
+	}
+}
+
+// Evaluate computes percentage metrics directly from labels.
+func Evaluate(pred, truth []int) Metrics {
+	return FromConfusion(Confuse(pred, truth))
+}
+
+// Aggregate is a mean ± standard deviation over several runs (the
+// paper averages each method over four classifiers).
+type Aggregate struct {
+	Mean, Std float64
+}
+
+// String formats as "mm.mm ± ss.ss".
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", a.Mean, a.Std)
+}
+
+// AggregateOf computes mean and (population) standard deviation.
+func AggregateOf(values []float64) Aggregate {
+	if len(values) == 0 {
+		return Aggregate{}
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	varSum := 0.0
+	for _, v := range values {
+		d := v - mean
+		varSum += d * d
+	}
+	return Aggregate{Mean: mean, Std: math.Sqrt(varSum / float64(len(values)))}
+}
+
+// MetricsAggregate aggregates each measure over a set of runs.
+type MetricsAggregate struct {
+	Precision, Recall, FStar, F1 Aggregate
+}
+
+// AggregateMetrics reduces per-classifier metrics to mean ± std per
+// measure.
+func AggregateMetrics(runs []Metrics) MetricsAggregate {
+	p := make([]float64, len(runs))
+	r := make([]float64, len(runs))
+	fs := make([]float64, len(runs))
+	f1 := make([]float64, len(runs))
+	for i, m := range runs {
+		p[i], r[i], fs[i], f1[i] = m.Precision, m.Recall, m.FStar, m.F1
+	}
+	return MetricsAggregate{
+		Precision: AggregateOf(p),
+		Recall:    AggregateOf(r),
+		FStar:     AggregateOf(fs),
+		F1:        AggregateOf(f1),
+	}
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfuse(t *testing.T) {
+	pred := []int{1, 1, 0, 0, 1}
+	truth := []int{1, 0, 1, 0, 1}
+	c := Confuse(pred, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestConfuseLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on length mismatch")
+		}
+	}()
+	Confuse([]int{1}, []int{1, 0})
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2, TN: 88}
+	if p := c.Precision(); p != 0.8 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); r != 0.8 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := c.F1(); math.Abs(f-0.8) > 1e-12 {
+		t.Errorf("F1 = %v", f)
+	}
+	// F* = 8 / 12
+	if fs := c.FStar(); math.Abs(fs-8.0/12.0) > 1e-12 {
+		t.Errorf("F* = %v", fs)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	empty := Confusion{}
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 || empty.FStar() != 0 {
+		t.Errorf("degenerate confusion should yield zeros")
+	}
+	perfect := Confusion{TP: 10}
+	if perfect.Precision() != 1 || perfect.Recall() != 1 || perfect.F1() != 1 || perfect.FStar() != 1 {
+		t.Errorf("perfect confusion should yield ones")
+	}
+}
+
+func TestFStarF1Relationship(t *testing.T) {
+	// F* = F1 / (2 - F1) for any confusion with TP > 0.
+	prop := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp) + 1, FP: int(fp), FN: int(fn)}
+		f1 := c.F1()
+		fs := c.FStar()
+		want := f1 / (2 - f1)
+		return math.Abs(fs-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("F*/F1 identity violated: %v", err)
+	}
+}
+
+func TestFStarNeverExceedsF1(t *testing.T) {
+	prop := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		return c.FStar() <= c.F1()+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("F* exceeded F1: %v", err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := Evaluate([]int{1, 1, 0}, []int{1, 0, 0})
+	if m.Precision != 50 || m.Recall != 100 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestAggregateOf(t *testing.T) {
+	a := AggregateOf([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.Mean != 5 {
+		t.Errorf("mean = %v", a.Mean)
+	}
+	if math.Abs(a.Std-2) > 1e-12 {
+		t.Errorf("std = %v", a.Std)
+	}
+	zero := AggregateOf(nil)
+	if zero.Mean != 0 || zero.Std != 0 {
+		t.Errorf("empty aggregate should be zero")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	s := Aggregate{Mean: 92.785, Std: 5.132}.String()
+	if !strings.Contains(s, "92.78") || !strings.Contains(s, "5.13") {
+		t.Errorf("format = %q", s)
+	}
+}
+
+func TestAggregateMetrics(t *testing.T) {
+	runs := []Metrics{
+		{Precision: 90, Recall: 80, FStar: 70, F1: 85},
+		{Precision: 100, Recall: 90, FStar: 80, F1: 95},
+	}
+	agg := AggregateMetrics(runs)
+	if agg.Precision.Mean != 95 || agg.Recall.Mean != 85 || agg.FStar.Mean != 75 || agg.F1.Mean != 90 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if agg.Precision.Std != 5 {
+		t.Errorf("std = %v", agg.Precision.Std)
+	}
+}

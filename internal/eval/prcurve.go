@@ -1,0 +1,94 @@
+package eval
+
+import "sort"
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision-recall curve of a probabilistic
+// prediction against true labels, one operating point per distinct
+// predicted probability (descending). The curve supports
+// threshold-free comparison of match scorers, complementing the
+// fixed-threshold measures of the paper.
+func PRCurve(proba []float64, truth []int) []PRPoint {
+	if len(proba) != len(truth) {
+		panic("eval: proba and truth lengths differ")
+	}
+	type scored struct {
+		p float64
+		y int
+	}
+	rows := make([]scored, len(proba))
+	totalPos := 0
+	for i := range proba {
+		rows[i] = scored{proba[i], truth[i]}
+		totalPos += truth[i]
+	}
+	if totalPos == 0 || len(rows) == 0 {
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p > rows[j].p })
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(rows); {
+		j := i
+		for j < len(rows) && rows[j].p == rows[i].p {
+			if rows[j].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		out = append(out, PRPoint{
+			Threshold: rows[i].p,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalPos),
+		})
+		i = j
+	}
+	return out
+}
+
+// AveragePrecision computes the area under the precision-recall curve
+// by the step-wise interpolation standard in information retrieval:
+// sum over curve points of precision × recall increment.
+func AveragePrecision(proba []float64, truth []int) float64 {
+	curve := PRCurve(proba, truth)
+	ap := 0.0
+	prevRecall := 0.0
+	for _, pt := range curve {
+		ap += pt.Precision * (pt.Recall - prevRecall)
+		prevRecall = pt.Recall
+	}
+	return ap
+}
+
+// BestFStar scans the precision-recall curve for the threshold
+// maximising the F*-measure, returning the threshold and the measure.
+// It supports threshold tuning when a validation set exists.
+func BestFStar(proba []float64, truth []int) (threshold, fstar float64) {
+	curve := PRCurve(proba, truth)
+	best := -1.0
+	bestT := 0.5
+	for _, pt := range curve {
+		// F* = PR / (P + R - PR), derived from TP/(TP+FP+FN).
+		den := pt.Precision + pt.Recall - pt.Precision*pt.Recall
+		if den <= 0 {
+			continue
+		}
+		f := pt.Precision * pt.Recall / den
+		if f > best {
+			best = f
+			bestT = pt.Threshold
+		}
+	}
+	if best < 0 {
+		return 0.5, 0
+	}
+	return bestT, best
+}

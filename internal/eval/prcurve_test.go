@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRCurvePerfectRanking(t *testing.T) {
+	proba := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []int{1, 1, 0, 0}
+	curve := PRCurve(proba, truth)
+	if len(curve) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(curve))
+	}
+	// First two points at precision 1.
+	if curve[0].Precision != 1 || curve[1].Precision != 1 {
+		t.Errorf("perfect prefix should have precision 1: %+v", curve[:2])
+	}
+	if curve[1].Recall != 1 {
+		t.Errorf("all positives found by second point: %+v", curve[1])
+	}
+	if ap := AveragePrecision(proba, truth); math.Abs(ap-1) > 1e-12 {
+		t.Errorf("perfect ranking AP = %v, want 1", ap)
+	}
+}
+
+func TestPRCurveTiedScores(t *testing.T) {
+	proba := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []int{1, 0, 1, 0}
+	curve := PRCurve(proba, truth)
+	if len(curve) != 1 {
+		t.Fatalf("tied scores should collapse into one point, got %d", len(curve))
+	}
+	if curve[0].Precision != 0.5 || curve[0].Recall != 1 {
+		t.Errorf("tied point = %+v", curve[0])
+	}
+}
+
+func TestPRCurveDegenerate(t *testing.T) {
+	if PRCurve([]float64{0.5}, []int{0}) != nil {
+		t.Errorf("no positives should give nil curve")
+	}
+	if PRCurve(nil, nil) != nil {
+		t.Errorf("empty input should give nil curve")
+	}
+	if ap := AveragePrecision([]float64{0.1}, []int{0}); ap != 0 {
+		t.Errorf("no positives AP = %v", ap)
+	}
+}
+
+func TestPRCurveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on length mismatch")
+		}
+	}()
+	PRCurve([]float64{1}, []int{1, 0})
+}
+
+func TestBestFStar(t *testing.T) {
+	proba := []float64{0.9, 0.7, 0.6, 0.3}
+	truth := []int{1, 1, 0, 0}
+	thr, f := BestFStar(proba, truth)
+	if thr > 0.7 || thr < 0.6 {
+		// Best point is at recall 1 precision 1 => threshold 0.7.
+		if thr != 0.7 {
+			t.Errorf("best threshold = %v", thr)
+		}
+	}
+	if math.Abs(f-1) > 1e-12 {
+		t.Errorf("best F* = %v, want 1", f)
+	}
+	// Degenerate.
+	thr, f = BestFStar([]float64{0.4}, []int{0})
+	if f != 0 || thr != 0.5 {
+		t.Errorf("degenerate best = %v @ %v", f, thr)
+	}
+}
+
+func TestPropertyAveragePrecisionRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		// Deterministic pseudo-random instance.
+		state := uint64(seed)
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>40) / float64(1<<24)
+		}
+		n := 5 + int(next()*50)
+		proba := make([]float64, n)
+		truth := make([]int, n)
+		pos := 0
+		for i := range proba {
+			proba[i] = next()
+			if next() > 0.7 {
+				truth[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 {
+			truth[0] = 1
+		}
+		ap := AveragePrecision(proba, truth)
+		if ap < -1e-12 || ap > 1+1e-12 || math.IsNaN(ap) {
+			return false
+		}
+		// Recall on the curve is non-decreasing.
+		curve := PRCurve(proba, truth)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Recall < curve[i-1].Recall-1e-12 {
+				return false
+			}
+			if curve[i].Threshold > curve[i-1].Threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("AP property failed: %v", err)
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"transer/internal/blocking"
+	"transer/internal/compare"
+	"transer/internal/datagen"
+	"transer/internal/dataset"
+)
+
+// builtDomain is one blocked+compared domain with ground-truth labels.
+type builtDomain struct {
+	name  string
+	pairs []dataset.Pair
+	x     [][]float64
+	y     []int
+	m     int
+}
+
+// buildDomain blocks and compares a generated domain pair with its
+// recommended blocking configuration and the default comparison
+// scheme.
+func buildDomain(p datagen.DomainPair) builtDomain {
+	scheme := compare.DefaultScheme(p.A.Schema)
+	pairs := blocking.CandidatePairs(p.A, p.B, p.Blocking)
+	return builtDomain{
+		name:  p.Name,
+		pairs: pairs,
+		x:     scheme.Matrix(p.A, p.B, pairs),
+		y:     dataset.LabelPairs(pairs, p.Truth()),
+		m:     scheme.NumFeatures(),
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"transer/internal/datagen"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	return Options{
+		Scale:       0.04,
+		Seed:        1,
+		SkipSlow:    true,
+		Classifiers: StandardClassifiers(1)[3:4], // decision tree only
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(tiny())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 domain pair rows, got %d", len(tbl.Rows))
+	}
+	// Feature widths follow the paper: 4, 5, 8, 11.
+	want := []string{"4", "5", "8", "11"}
+	for i, row := range tbl.Rows {
+		if row[0] != want[i] {
+			t.Errorf("row %d width = %s, want %s", i, row[0], want[i])
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), "DBLP-ACM") {
+		t.Errorf("render missing dataset name")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	hs, err := Figure2(tiny())
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if len(hs) != 2 {
+		t.Fatalf("expected 2 histograms, got %d", len(hs))
+	}
+	for _, h := range hs {
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total == 0 {
+			t.Errorf("%s histogram empty", h.Name)
+		}
+		// Bi-modal shape: matches concentrate in the top bins.
+		topMatches, botMatches := 0, 0
+		for i, m := range h.Matches {
+			if i >= len(h.Matches)/2 {
+				topMatches += m
+			} else {
+				botMatches += m
+			}
+		}
+		if topMatches <= botMatches {
+			t.Errorf("%s: matches not concentrated at high similarity (%d top vs %d bottom)",
+				h.Name, topMatches, botMatches)
+		}
+	}
+	var buf bytes.Buffer
+	RenderHistograms(&buf, hs)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Errorf("render missing caption")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	pts := Figure5()
+	if len(pts) != 21 {
+		t.Fatalf("expected 21 samples, got %d", len(pts))
+	}
+	// At x=0 all curves are 1; decay rate ordering holds at x=0.5.
+	for name, v := range pts[0].Values {
+		if v != 1 {
+			t.Errorf("%s(0) = %v", name, v)
+		}
+	}
+	mid := pts[10].Values
+	if !(mid["e^-10x"] < mid["e^-5x"] && mid["e^-5x"] < mid["e^-2x"] && mid["e^-2x"] < mid["e^-x"]) {
+		t.Errorf("decay ordering violated at x=0.5: %v", mid)
+	}
+	var buf bytes.Buffer
+	RenderDecay(&buf, pts)
+	if !strings.Contains(buf.String(), "e^-5x") {
+		t.Errorf("render missing series")
+	}
+}
+
+func TestTable2AndRuntime(t *testing.T) {
+	res, err := Table2(tiny())
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	// 8 tasks x 6 methods (slow skipped).
+	if len(res.Rows) != 8*6 {
+		t.Fatalf("expected 48 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("%s on %s failed: %v", row.Method, row.Task, row.Err)
+		}
+	}
+	q := res.QualityTable()
+	if len(q.Rows) != 8*4+4 { // 4 measures per task + averages block
+		t.Errorf("quality table rows = %d", len(q.Rows))
+	}
+	rt := res.RuntimeTable()
+	if len(rt.Rows) != 8 {
+		t.Errorf("runtime table rows = %d", len(rt.Rows))
+	}
+	var buf bytes.Buffer
+	q.Render(&buf)
+	rt.Render(&buf)
+	out := buf.String()
+	for _, m := range []string{"TransER", "Naive", "LocIT*", "TCA", "Coral", "DR"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("rendered tables missing method %s", m)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	rows, err := Figure6(tiny())
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	// 3 tasks x 4 fractions.
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Setting != "label-fraction" {
+			t.Errorf("unexpected setting %q", r.Setting)
+		}
+		if r.Value < 0.25 || r.Value > 1 {
+			t.Errorf("fraction %v out of range", r.Value)
+		}
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	rows, err := Figure7(tiny())
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	// 3 tasks x (6 + 6 + 8 + 5) settings.
+	if len(rows) != 3*25 {
+		t.Fatalf("expected 75 rows, got %d", len(rows))
+	}
+	settings := map[string]bool{}
+	for _, r := range rows {
+		settings[r.Setting] = true
+	}
+	for _, s := range []string{"t_c", "t_l", "t_p", "k"} {
+		if !settings[s] {
+			t.Errorf("missing sweep %q", s)
+		}
+	}
+	tbl := SweepTable("fig7", rows)
+	if len(tbl.Rows) != len(rows) {
+		t.Errorf("sweep table rows mismatch")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tbl, err := Table4(tiny())
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	// 3 tasks x 4 measures.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 2+6 {
+		t.Errorf("expected 6 variants in header, got %d", len(tbl.Header)-2)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	for _, v := range []string{"without SEL", "without sim_c", "TransER + sim_v"} {
+		if !strings.Contains(buf.String(), v) {
+			t.Errorf("missing ablation variant %q", v)
+		}
+	}
+}
+
+func TestBuildTaskAlignment(t *testing.T) {
+	opts := tiny()
+	for _, task := range pairsForTest(opts.Scale) {
+		bt := buildTask(task)
+		if len(bt.task.XS) != len(bt.task.YS) {
+			t.Fatalf("%s: source rows/labels misaligned", bt.name)
+		}
+		if len(bt.task.XT) != len(bt.truthT) {
+			t.Fatalf("%s: target rows/truth misaligned", bt.name)
+		}
+		if len(bt.task.SourcePairs) != len(bt.task.XS) {
+			t.Fatalf("%s: source pairs misaligned", bt.name)
+		}
+		if err := bt.task.Validate(); err != nil {
+			t.Fatalf("%s: invalid task: %v", bt.name, err)
+		}
+	}
+}
+
+func TestLabelFractionTask(t *testing.T) {
+	opts := tiny()
+	bt := buildTask(pairsForTest(opts.Scale)[0])
+	sub := labelFractionTask(bt, 0.5, 1)
+	if len(sub.task.XS) >= len(bt.task.XS) {
+		t.Errorf("fraction did not shrink source: %d vs %d", len(sub.task.XS), len(bt.task.XS))
+	}
+	if len(sub.task.XS) != len(sub.task.YS) {
+		t.Errorf("subset misaligned")
+	}
+	// Target untouched.
+	if len(sub.task.XT) != len(bt.task.XT) {
+		t.Errorf("target modified by label fraction")
+	}
+}
+
+// pairsForTest exposes the paper task list at a test scale.
+func pairsForTest(scale float64) []datagen.TransferTask {
+	return datagen.PaperTasks(scale)
+}

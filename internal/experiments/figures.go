@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"transer/internal/compare"
+	"transer/internal/datagen"
+)
+
+// Histogram is one similarity distribution series (Figure 2).
+type Histogram struct {
+	Name    string
+	Edges   []float64 // len bins+1
+	Counts  []int     // len bins
+	Matches []int     // per-bin true match counts (diagnostic)
+}
+
+// Figure2 reproduces the skewed/bi-modal similarity distributions: a
+// histogram of per-pair mean similarity for the Musicbrainz-like and
+// DBLP-ACM-like data sets.
+func Figure2(opts Options) ([]Histogram, error) {
+	opts = opts.withDefaults()
+	const bins = 20
+	build := func(p datagen.DomainPair) Histogram {
+		d := buildDomain(p)
+		means := compare.MeanSimilarity(d.x)
+		h := Histogram{Name: p.Name,
+			Edges:   make([]float64, bins+1),
+			Counts:  make([]int, bins),
+			Matches: make([]int, bins)}
+		for i := 0; i <= bins; i++ {
+			h.Edges[i] = float64(i) / bins
+		}
+		for i, v := range means {
+			b := int(v * bins)
+			if b >= bins {
+				b = bins - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			h.Counts[b]++
+			if d.y[i] == 1 {
+				h.Matches[b]++
+			}
+		}
+		return h
+	}
+	return []Histogram{
+		build(datagen.MB(opts.Scale)),
+		build(datagen.DBLPACM(opts.Scale)),
+	}, nil
+}
+
+// RenderHistograms writes ASCII histograms.
+func RenderHistograms(w io.Writer, hs []Histogram) {
+	for _, h := range hs {
+		fmt.Fprintf(w, "Figure 2: mean similarity distribution — %s\n", h.Name)
+		maxC := 1
+		for _, c := range h.Counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for i, c := range h.Counts {
+			bar := strings.Repeat("#", int(math.Round(40*float64(c)/float64(maxC))))
+			fmt.Fprintf(w, "  [%.2f,%.2f) %6d (matches %5d) |%s\n",
+				h.Edges[i], h.Edges[i+1], c, h.Matches[i], bar)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// DecayPoint is one (x, value-per-function) sample of Figure 5.
+type DecayPoint struct {
+	X      float64
+	Values map[string]float64
+}
+
+// Figure5 reproduces the exponential decay candidate curves e^{-x},
+// e^{-2x}, e^{-5x}, e^{-10x} over the normalised distance range [0, 1];
+// the paper selects e^{-5x} for Equation (2).
+func Figure5() []DecayPoint {
+	rates := map[string]float64{"e^-x": 1, "e^-2x": 2, "e^-5x": 5, "e^-10x": 10}
+	var out []DecayPoint
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 20
+		p := DecayPoint{X: x, Values: map[string]float64{}}
+		for name, r := range rates {
+			p.Values[name] = math.Exp(-r * x)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderDecay writes the Figure 5 series as a CSV-style table.
+func RenderDecay(w io.Writer, pts []DecayPoint) {
+	fmt.Fprintln(w, "Figure 5: exponential decay candidates (x = normalised distance)")
+	if len(pts) == 0 {
+		return
+	}
+	names := sortedKeys(pts[0].Values)
+	fmt.Fprintf(w, "  x      %s\n", strings.Join(names, "    "))
+	for _, p := range pts {
+		var vals []string
+		for _, n := range names {
+			vals = append(vals, fmt.Sprintf("%.3f", p.Values[n]))
+		}
+		fmt.Fprintf(w, "  %.2f   %s\n", p.X, strings.Join(vals, "    "))
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"transer/internal/core"
+	"transer/internal/datagen"
+	"transer/internal/eval"
+)
+
+// SweepRow is one parameter/fraction setting's aggregated quality on
+// one task.
+type SweepRow struct {
+	Task    string
+	Setting string
+	Value   float64
+	Quality eval.MetricsAggregate
+}
+
+// Figure6 measures TransER's sensitivity to the labelled source
+// fraction (25%..100%) on the three representative tasks.
+func Figure6(opts Options) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	var out []SweepRow
+	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
+		bt := buildTask(task)
+		for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+			sub := labelFractionTask(bt, frac, opts.Seed+int64(frac*100))
+			q, _, err := evaluateMethod(transERMethod(core.DefaultConfig()), sub, opts.Classifiers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepRow{Task: bt.name, Setting: "label-fraction", Value: frac, Quality: q})
+		}
+	}
+	return out, nil
+}
+
+// Figure7 measures TransER's sensitivity to t_c, t_l, t_p and k on the
+// representative tasks, varying one parameter at a time around the
+// defaults (the paper's Section 5.3 protocol).
+func Figure7(opts Options) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	var out []SweepRow
+	type sweep struct {
+		name   string
+		values []float64
+		apply  func(cfg *core.Config, v float64)
+	}
+	sweeps := []sweep{
+		{"t_c", []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+			func(cfg *core.Config, v float64) { cfg.TC = v }},
+		{"t_l", []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+			func(cfg *core.Config, v float64) { cfg.TL = v }},
+		{"t_p", []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0},
+			func(cfg *core.Config, v float64) { cfg.TP = v }},
+		{"k", []float64{3, 5, 7, 9, 11},
+			func(cfg *core.Config, v float64) { cfg.K = int(v) }},
+	}
+	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
+		bt := buildTask(task)
+		for _, sw := range sweeps {
+			for _, v := range sw.values {
+				cfg := core.DefaultConfig()
+				sw.apply(&cfg, v)
+				q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, SweepRow{Task: bt.name, Setting: sw.name, Value: v, Quality: q})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4 runs the component ablations of the paper's Table 4 on the
+// representative tasks.
+func Table4(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"TransER", core.DefaultConfig()},
+		{"without GEN & TCL", withCfg(func(c *core.Config) { c.DisableGENTCL = true })},
+		{"without SEL", withCfg(func(c *core.Config) { c.DisableSEL = true })},
+		{"without sim_c", withCfg(func(c *core.Config) { c.DisableSimC = true })},
+		{"without sim_l", withCfg(func(c *core.Config) { c.DisableSimL = true })},
+		{"TransER + sim_v", withCfg(func(c *core.Config) { c.EnableSimV = true })},
+	}
+	t := &Table{
+		Caption: "Table 4: ablation analysis (mean ± std over classifiers)",
+		Header:  []string{"Source -> Target", "Measure"},
+	}
+	for _, v := range variants {
+		t.Header = append(t.Header, v.name)
+	}
+	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
+		bt := buildTask(task)
+		cells := map[string]eval.MetricsAggregate{}
+		for _, v := range variants {
+			q, _, err := evaluateMethod(transERMethod(v.cfg), bt, opts.Classifiers)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %q on %s: %w", v.name, bt.name, err)
+			}
+			cells[v.name] = q
+		}
+		add := func(meas string, get func(eval.MetricsAggregate) eval.Aggregate) {
+			row := []string{bt.name, meas}
+			for _, v := range variants {
+				row = append(row, agg(get(cells[v.name])))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		add("P", func(a eval.MetricsAggregate) eval.Aggregate { return a.Precision })
+		add("R", func(a eval.MetricsAggregate) eval.Aggregate { return a.Recall })
+		add("F*", func(a eval.MetricsAggregate) eval.Aggregate { return a.FStar })
+		add("F1", func(a eval.MetricsAggregate) eval.Aggregate { return a.F1 })
+	}
+	return t, nil
+}
+
+func withCfg(mod func(*core.Config)) core.Config {
+	cfg := core.DefaultConfig()
+	mod(&cfg)
+	return cfg
+}
+
+// SweepTable renders sweep rows grouped by setting.
+func SweepTable(caption string, rows []SweepRow) *Table {
+	t := &Table{
+		Caption: caption,
+		Header:  []string{"Task", "Setting", "Value", "P", "R", "F*", "F1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Task, r.Setting, fmt.Sprintf("%.2f", r.Value),
+			agg(r.Quality.Precision), agg(r.Quality.Recall),
+			agg(r.Quality.FStar), agg(r.Quality.F1),
+		})
+	}
+	return t
+}

@@ -1,0 +1,241 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Errorf("empty tree Len = %d", tr.Len())
+	}
+	if nn := tr.KNN([]float64{0.5}, 3, nil); nn != nil {
+		t.Errorf("empty tree KNN should return nil, got %v", nn)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := Build([][]float64{{0.25, 0.75}})
+	nn := tr.KNN([]float64{0, 0}, 1, nil)
+	if len(nn) != 1 || nn[0].ID != 0 {
+		t.Fatalf("KNN = %v", nn)
+	}
+	want := 0.25*0.25 + 0.75*0.75
+	if math.Abs(nn[0].Dist2-want) > 1e-12 {
+		t.Errorf("Dist2 = %v, want %v", nn[0].Dist2, want)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 7, 50, 200} {
+		for _, d := range []int{1, 2, 4, 8} {
+			pts := randomPoints(rng, n, d)
+			tr := Build(pts)
+			for trial := 0; trial < 10; trial++ {
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = rng.Float64()
+				}
+				for _, k := range []int{1, 3, n, n + 5} {
+					got := tr.KNN(q, k, nil)
+					want := BruteKNN(pts, q, k, nil)
+					if len(got) != len(want) {
+						t.Fatalf("n=%d d=%d k=%d: got %d results, want %d", n, d, k, len(got), len(want))
+					}
+					for i := range got {
+						if math.Abs(got[i].Dist2-want[i].Dist2) > 1e-12 {
+							t.Fatalf("n=%d d=%d k=%d result %d: got dist %v want %v", n, d, k, i, got[i].Dist2, want[i].Dist2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNExclude(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	tr := Build(pts)
+	// Exclude the exact query point (id 0).
+	nn := tr.KNN([]float64{0, 0}, 2, func(id int) bool { return id == 0 })
+	if len(nn) != 2 || nn[0].ID != 1 || nn[1].ID != 2 {
+		t.Errorf("exclusion failed: %v", nn)
+	}
+	// Exclude everything.
+	nn = tr.KNN([]float64{0, 0}, 2, func(id int) bool { return true })
+	if len(nn) != 0 {
+		t.Errorf("excluding all should yield empty, got %v", nn)
+	}
+}
+
+func TestKNNZeroK(t *testing.T) {
+	tr := Build([][]float64{{1}, {2}})
+	if nn := tr.KNN([]float64{1.5}, 0, nil); nn != nil {
+		t.Errorf("k=0 should return nil")
+	}
+	if nn := tr.KNN([]float64{1.5}, -1, nil); nn != nil {
+		t.Errorf("k<0 should return nil")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.9, 0.9}}
+	tr := Build(pts)
+	nn := tr.KNN([]float64{0.5, 0.5}, 3, nil)
+	if len(nn) != 3 {
+		t.Fatalf("got %d results", len(nn))
+	}
+	for i, r := range nn {
+		if r.Dist2 != 0 {
+			t.Errorf("result %d should be exact duplicate, dist %v", i, r.Dist2)
+		}
+	}
+	// Deterministic tie-break by id.
+	if nn[0].ID != 0 || nn[1].ID != 1 || nn[2].ID != 2 {
+		t.Errorf("tie-break by id failed: %v", nn)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 4}, {4, 8}}
+	nn := []Neighbour{{ID: 0}, {ID: 2}}
+	c := Centroid(pts, nn, 2)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Centroid = %v, want [2 4]", c)
+	}
+	empty := Centroid(pts, nil, 2)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Errorf("empty centroid should be zero vector")
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func TestPropertyTreeEqualsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		d := 1 + r.Intn(6)
+		k := 1 + r.Intn(10)
+		pts := randomPoints(r, n, d)
+		tr := Build(pts)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = r.Float64() * 1.5
+		}
+		got := tr.KNN(q, k, nil)
+		want := BruteKNN(pts, q, k, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// Same distances (ids may differ only under exact ties, which
+			// the deterministic tie-break prevents).
+			if math.Abs(got[i].Dist2-want[i].Dist2) > 1e-12 || got[i].ID != want[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("tree != brute force: %v", err)
+	}
+}
+
+func BenchmarkBuild1000x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkKNN1000x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 1000, 8)
+	tr := Build(pts)
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(q, 7, nil)
+	}
+}
+
+func TestKNNCanonicalUnderTies(t *testing.T) {
+	// A ring of equidistant points: the kept subset must be the lowest
+	// ids, regardless of tree layout.
+	pts := [][]float64{
+		{1, 0}, {0, 1}, {-1, 0}, {0, -1},
+		{0.7071, 0.7071}, {-0.7071, 0.7071}, {0.7071, -0.7071}, {-0.7071, -0.7071},
+	}
+	tr := Build(pts)
+	nn := tr.KNN([]float64{0, 0}, 3, nil)
+	if len(nn) != 3 {
+		t.Fatalf("got %d results", len(nn))
+	}
+	// The four axis points are exactly at distance 1; the diagonals at
+	// ~0.99999... due to rounding — accept either, but the result must
+	// equal brute force exactly.
+	want := BruteKNN(pts, []float64{0, 0}, 3, nil)
+	for i := range want {
+		if nn[i] != want[i] {
+			t.Fatalf("tie handling differs from canonical brute force: %v vs %v", nn, want)
+		}
+	}
+}
+
+func TestKNNCanonicalWithExclusionOfDuplicates(t *testing.T) {
+	// Excluding different members of a duplicate group must yield
+	// neighbour sets that differ only by the swapped duplicate.
+	pts := [][]float64{
+		{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, // duplicates
+		{0.6, 0.5}, {0.4, 0.5}, {0.5, 0.6}, {0.5, 0.4}, // equidistant ring
+		{0.9, 0.9},
+	}
+	tr := Build(pts)
+	q := []float64{0.5, 0.5}
+	n0 := tr.KNN(q, 5, func(id int) bool { return id == 0 })
+	n1 := tr.KNN(q, 5, func(id int) bool { return id == 1 })
+	// Replace ids 0/1 with a sentinel to compare the rest.
+	norm := func(nn []Neighbour, self int) []Neighbour {
+		out := append([]Neighbour(nil), nn...)
+		for i := range out {
+			if out[i].ID == 0 || out[i].ID == 1 || out[i].ID == 2 {
+				out[i].ID = -1 // any duplicate is interchangeable
+			}
+		}
+		return out
+	}
+	a, b := norm(n0, 0), norm(n1, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("neighbour structure differs beyond the excluded duplicate: %v vs %v", n0, n1)
+		}
+	}
+}

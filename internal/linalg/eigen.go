@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi rotation method. Eigenpairs are
+// returned sorted by descending eigenvalue; column j of the returned
+// vectors matrix is the eigenvector of values[j]. The input is not
+// modified.
+//
+// The Jacobi method is quadratically convergent and unconditionally
+// stable for symmetric input, which covers every use in this
+// repository (covariances and the symmetric TCA system after
+// symmetrisation).
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	a.mustSquare()
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0)
+	}
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := m.MaxAbsOffDiag()
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				// Compute the Jacobi rotation that zeroes a_pq.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation to rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for j, p := range pairs {
+		values[j] = p.val
+		for i := 0; i < n; i++ {
+			vectors.Set(i, j, v.At(i, p.idx))
+		}
+	}
+	return values, vectors
+}
+
+// SymPow returns Aᵖ for a symmetric positive semi-definite A computed
+// through its eigendecomposition: Q diag(λᵖ) Qᵀ. Eigenvalues below eps
+// are clamped to eps before the power is applied, which makes negative
+// powers (inverse square roots) well defined on rank-deficient
+// covariances.
+func SymPow(a *Matrix, p, eps float64) *Matrix {
+	vals, q := EigenSym(a)
+	n := a.Rows
+	d := NewMatrix(n, n)
+	for i, v := range vals {
+		if v < eps {
+			v = eps
+		}
+		d.Set(i, i, math.Pow(v, p))
+	}
+	return q.Mul(d).Mul(q.T())
+}
+
+// TopEigenvectors returns the k eigenvectors (as matrix columns) with
+// the largest eigenvalues of the symmetric matrix a, together with the
+// eigenvalues.
+func TopEigenvectors(a *Matrix, k int) ([]float64, *Matrix) {
+	vals, vecs := EigenSym(a)
+	if k > len(vals) {
+		k = len(vals)
+	}
+	out := NewMatrix(a.Rows, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < a.Rows; i++ {
+			out.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return vals[:k], out
+}

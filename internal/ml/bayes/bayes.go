@@ -1,0 +1,121 @@
+// Package bayes implements a Gaussian naive Bayes binary classifier —
+// a classic ER match classifier (the Fellegi-Sunter model is naive
+// Bayes over comparison features). Each feature is modelled as a
+// per-class normal distribution; variances are floored to keep the
+// likelihood finite on constant (often exactly-1.0 or 0.0 similarity)
+// features.
+package bayes
+
+import (
+	"math"
+
+	"transer/internal/ml"
+)
+
+// Config holds naive Bayes hyper-parameters.
+type Config struct {
+	// VarFloor is the minimum per-feature variance; 0 means 1e-3.
+	VarFloor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.VarFloor == 0 {
+		c.VarFloor = 1e-3
+	}
+	return c
+}
+
+// Bayes is a trained Gaussian naive Bayes classifier.
+type Bayes struct {
+	cfg Config
+	// per class: prior, feature means and variances
+	logPrior [2]float64
+	mean     [2][]float64
+	variance [2][]float64
+	trained  bool
+}
+
+// New creates an untrained classifier.
+func New(cfg Config) *Bayes { return &Bayes{cfg: cfg.withDefaults()} }
+
+// Factory returns an ml.Factory producing classifiers with this
+// config.
+func Factory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Fit estimates class priors and per-feature Gaussians.
+func (b *Bayes) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		b.mean[c] = make([]float64, dim)
+		b.variance[c] = make([]float64, dim)
+	}
+	for i, row := range x {
+		c := y[i]
+		count[c]++
+		for j, v := range row {
+			b.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range b.mean[c] {
+			b.mean[c][j] /= float64(count[c])
+		}
+	}
+	for i, row := range x {
+		c := y[i]
+		for j, v := range row {
+			d := v - b.mean[c][j]
+			b.variance[c][j] += d * d
+		}
+	}
+	n := float64(len(x))
+	for c := 0; c < 2; c++ {
+		b.logPrior[c] = math.Log(float64(count[c]) / n)
+		for j := range b.variance[c] {
+			b.variance[c][j] /= float64(count[c])
+			if b.variance[c][j] < b.cfg.VarFloor {
+				b.variance[c][j] = b.cfg.VarFloor
+			}
+		}
+	}
+	b.trained = true
+	return nil
+}
+
+// PredictProba returns P(match | row) under the Gaussian model.
+func (b *Bayes) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if !b.trained {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, row := range x {
+		var ll [2]float64
+		for c := 0; c < 2; c++ {
+			ll[c] = b.logPrior[c]
+			for j, v := range row {
+				d := v - b.mean[c][j]
+				ll[c] += -0.5*math.Log(2*math.Pi*b.variance[c][j]) - d*d/(2*b.variance[c][j])
+			}
+		}
+		// p = 1 / (1 + exp(ll0 - ll1)) computed stably.
+		diff := ll[0] - ll[1]
+		switch {
+		case diff > 500:
+			out[i] = 0
+		case diff < -500:
+			out[i] = 1
+		default:
+			out[i] = 1 / (1 + math.Exp(diff))
+		}
+	}
+	return out
+}

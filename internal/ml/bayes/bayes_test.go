@@ -1,0 +1,101 @@
+package bayes
+
+import (
+	"errors"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/mltest"
+)
+
+func TestBayesSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(300, 4, 0.12, 1)
+	b := New(Config{})
+	if err := b.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if acc := mltest.Accuracy(b.PredictProba(x), y); acc < 0.95 {
+		t.Errorf("training accuracy %.3f", acc)
+	}
+}
+
+func TestBayesErrorsAndUntrained(t *testing.T) {
+	b := New(Config{})
+	if err := b.Fit(nil, nil); !errors.Is(err, ml.ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if err := b.Fit([][]float64{{1}, {0}}, []int{1, 1}); !errors.Is(err, ml.ErrSingleClass) {
+		t.Errorf("single class error = %v", err)
+	}
+	if p := b.PredictProba([][]float64{{0.5}}); p[0] != 0.5 {
+		t.Errorf("untrained should predict 0.5, got %v", p[0])
+	}
+}
+
+func TestBayesConstantFeature(t *testing.T) {
+	// A feature that is identical in both classes must not blow up the
+	// likelihood (variance floor).
+	x := [][]float64{{1, 0.1}, {1, 0.2}, {1, 0.8}, {1, 0.9}}
+	y := []int{0, 0, 1, 1}
+	b := New(Config{})
+	if err := b.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	p := b.PredictProba([][]float64{{1, 0.85}, {1, 0.15}})
+	if p[0] < 0.5 || p[1] > 0.5 {
+		t.Errorf("predictions wrong: %v", p)
+	}
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability %v out of range", v)
+		}
+	}
+}
+
+func TestBayesExtremeLogOdds(t *testing.T) {
+	// Far-away points should saturate to 0/1 without NaN.
+	x, y := mltest.TwoBlobs(100, 2, 0.05, 2)
+	b := New(Config{})
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := b.PredictProba([][]float64{{100, 100}, {-100, -100}})
+	if p[0] != 1 && p[0] != 0 { // whichever class wins must saturate
+		if p[0] > 1e-12 && p[0] < 1-1e-12 {
+			t.Errorf("expected saturated probability, got %v", p[0])
+		}
+	}
+}
+
+func TestBayesPriorInfluence(t *testing.T) {
+	// With an extreme class prior, a mid-point leans to the majority.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 95; i++ {
+		x = append(x, []float64{0.4})
+		y = append(y, 0)
+	}
+	for i := 0; i < 5; i++ {
+		x = append(x, []float64{0.6})
+		y = append(y, 1)
+	}
+	b := New(Config{VarFloor: 0.05})
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := b.PredictProba([][]float64{{0.5}})
+	if p[0] >= 0.5 {
+		t.Errorf("prior should pull the midpoint to non-match, got %v", p[0])
+	}
+}
+
+func BenchmarkBayesFit(b *testing.B) {
+	x, y := mltest.TwoBlobs(1000, 8, 0.15, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(Config{})
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package fellegi implements the classic Fellegi-Sunter record linkage
+// model fitted with expectation-maximisation — the standard
+// unsupervised match classifier (Figure 1 of the paper allows either
+// supervised or unsupervised classification). Features are binarised
+// by an agreement threshold; EM estimates per-feature agreement
+// probabilities among matches (m-probabilities) and non-matches
+// (u-probabilities) plus the match prevalence, without any labels.
+//
+// It does not implement the ml.Classifier interface (it takes no
+// labels); FitUnsupervised consumes the feature matrix alone.
+package fellegi
+
+import (
+	"errors"
+	"math"
+)
+
+// Config holds Fellegi-Sunter EM hyper-parameters.
+type Config struct {
+	// AgreeThreshold binarises features: value >= threshold counts as
+	// agreement; 0 means 0.8.
+	AgreeThreshold float64
+	// MaxIterations of EM; 0 means 100.
+	MaxIterations int
+	// Tolerance on the log-likelihood change for convergence; 0 means
+	// 1e-6.
+	Tolerance float64
+	// InitPrevalence is the initial match prevalence; 0 means 0.1.
+	InitPrevalence float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.AgreeThreshold == 0 {
+		c.AgreeThreshold = 0.8
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.InitPrevalence == 0 {
+		c.InitPrevalence = 0.1
+	}
+	return c
+}
+
+// Model is a fitted Fellegi-Sunter model.
+type Model struct {
+	cfg Config
+	// M and U are the per-feature agreement probabilities among
+	// matches and non-matches.
+	M, U []float64
+	// Prevalence is the estimated match fraction.
+	Prevalence float64
+	// Iterations actually run and whether EM converged.
+	Iterations int
+	Converged  bool
+}
+
+// FitUnsupervised estimates the model from an unlabelled feature
+// matrix by EM.
+func FitUnsupervised(x [][]float64, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(x) == 0 {
+		return nil, errors.New("fellegi: empty feature matrix")
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, errors.New("fellegi: zero-width feature matrix")
+	}
+	// Binarise agreements once.
+	agree := make([][]bool, len(x))
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, errors.New("fellegi: ragged feature matrix")
+		}
+		a := make([]bool, dim)
+		for j, v := range row {
+			a[j] = v >= cfg.AgreeThreshold
+		}
+		agree[i] = a
+	}
+
+	m := &Model{cfg: cfg, M: make([]float64, dim), U: make([]float64, dim), Prevalence: cfg.InitPrevalence}
+	// Standard initialisation: matches mostly agree, non-matches mostly
+	// disagree.
+	for j := 0; j < dim; j++ {
+		m.M[j] = 0.9
+		m.U[j] = 0.1
+	}
+	resp := make([]float64, len(x))
+	prevLL := math.Inf(-1)
+	for it := 0; it < cfg.MaxIterations; it++ {
+		// E-step: responsibilities P(match | agreements).
+		ll := 0.0
+		for i, a := range agree {
+			logM := math.Log(m.Prevalence)
+			logU := math.Log(1 - m.Prevalence)
+			for j, ag := range a {
+				if ag {
+					logM += math.Log(m.M[j])
+					logU += math.Log(m.U[j])
+				} else {
+					logM += math.Log(1 - m.M[j])
+					logU += math.Log(1 - m.U[j])
+				}
+			}
+			mx := logM
+			if logU > mx {
+				mx = logU
+			}
+			denom := math.Exp(logM-mx) + math.Exp(logU-mx)
+			resp[i] = math.Exp(logM-mx) / denom
+			ll += mx + math.Log(denom)
+		}
+		// M-step.
+		sumR := 0.0
+		for _, r := range resp {
+			sumR += r
+		}
+		n := float64(len(x))
+		m.Prevalence = clampProb(sumR / n)
+		for j := 0; j < dim; j++ {
+			agreeM, agreeU := 0.0, 0.0
+			for i, a := range agree {
+				if a[j] {
+					agreeM += resp[i]
+					agreeU += 1 - resp[i]
+				}
+			}
+			m.M[j] = clampProb(agreeM / math.Max(sumR, 1e-12))
+			m.U[j] = clampProb(agreeU / math.Max(n-sumR, 1e-12))
+		}
+		m.Iterations = it + 1
+		if math.Abs(ll-prevLL) < cfg.Tolerance*math.Abs(ll) {
+			m.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return m, nil
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-4
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// PredictProba returns P(match | row) under the fitted model.
+func (m *Model) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		logM := math.Log(m.Prevalence)
+		logU := math.Log(1 - m.Prevalence)
+		for j, v := range row {
+			if j >= len(m.M) {
+				break
+			}
+			if v >= m.cfg.AgreeThreshold {
+				logM += math.Log(m.M[j])
+				logU += math.Log(m.U[j])
+			} else {
+				logM += math.Log(1 - m.M[j])
+				logU += math.Log(1 - m.U[j])
+			}
+		}
+		diff := logU - logM
+		switch {
+		case diff > 500:
+			out[i] = 0
+		case diff < -500:
+			out[i] = 1
+		default:
+			out[i] = 1 / (1 + math.Exp(diff))
+		}
+	}
+	return out
+}
+
+// MatchWeights returns the per-feature log2 agreement weights
+// log2(m/u) used in traditional linkage practice to inspect feature
+// informativeness.
+func (m *Model) MatchWeights() []float64 {
+	out := make([]float64, len(m.M))
+	for j := range out {
+		out[j] = math.Log2(m.M[j] / m.U[j])
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package fellegi
+
+import (
+	"math"
+	"testing"
+
+	"transer/internal/ml/mltest"
+)
+
+func TestFitUnsupervisedSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(600, 4, 0.1, 1)
+	m, err := FitUnsupervised(x, Config{})
+	if err != nil {
+		t.Fatalf("FitUnsupervised: %v", err)
+	}
+	acc := mltest.Accuracy(m.PredictProba(x), y)
+	// EM may swap the component meaning; accept either orientation but
+	// demand strong separation.
+	if acc < 0.9 && acc > 0.1 {
+		t.Errorf("unsupervised accuracy %.3f — components not separated", acc)
+	}
+	if m.Prevalence <= 0 || m.Prevalence >= 1 {
+		t.Errorf("prevalence %v out of range", m.Prevalence)
+	}
+}
+
+func TestFitUnsupervisedErrors(t *testing.T) {
+	if _, err := FitUnsupervised(nil, Config{}); err == nil {
+		t.Errorf("empty matrix accepted")
+	}
+	if _, err := FitUnsupervised([][]float64{{}}, Config{}); err == nil {
+		t.Errorf("zero-width matrix accepted")
+	}
+	if _, err := FitUnsupervised([][]float64{{1}, {1, 2}}, Config{}); err == nil {
+		t.Errorf("ragged matrix accepted")
+	}
+}
+
+func TestMatchWeightsInformative(t *testing.T) {
+	// One informative feature, one noise feature: the informative one
+	// must get a higher |log2(m/u)| weight.
+	x, _ := mltest.TwoBlobs(400, 1, 0.08, 2)
+	rows := make([][]float64, len(x))
+	for i, r := range x {
+		// A constant mid-value never crosses the agreement threshold in
+		// either class, so its m- and u-probabilities coincide.
+		rows[i] = []float64{r[0], 0.5}
+	}
+	m, err := FitUnsupervised(rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.MatchWeights()
+	if math.Abs(w[0]) <= math.Abs(w[1]) {
+		t.Errorf("informative feature weight %v not above noise %v", w[0], w[1])
+	}
+}
+
+func TestConvergenceReported(t *testing.T) {
+	x, _ := mltest.TwoBlobs(200, 3, 0.1, 3)
+	m, err := FitUnsupervised(x, Config{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Errorf("EM did not converge in 200 iterations on easy data")
+	}
+	if m.Iterations == 0 {
+		t.Errorf("iterations not recorded")
+	}
+}
+
+func TestProbabilityRange(t *testing.T) {
+	x, _ := mltest.TwoBlobs(200, 4, 0.2, 4)
+	m, err := FitUnsupervised(x, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.PredictProba(x) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}

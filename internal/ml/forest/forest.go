@@ -1,0 +1,112 @@
+// Package forest implements a random forest classifier: bagged CART
+// trees with per-split feature subsampling. The predicted match
+// probability is the mean of the trees' leaf probabilities, the usual
+// soft voting scheme.
+package forest
+
+import (
+	"math"
+	"math/rand"
+
+	"transer/internal/ml"
+	"transer/internal/ml/tree"
+)
+
+// Config holds random forest hyper-parameters; the zero value uses the
+// defaults noted per field.
+type Config struct {
+	// NumTrees is the ensemble size; 0 means 30.
+	NumTrees int
+	// MaxDepth per tree; 0 means 12.
+	MaxDepth int
+	// MinLeaf per tree; 0 means 2.
+	MinLeaf int
+	// MaxFeatures per split; 0 means round(sqrt(m)).
+	MaxFeatures int
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrees == 0 {
+		c.NumTrees = 30
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// Forest is a random forest classifier.
+type Forest struct {
+	cfg   Config
+	trees []*tree.Tree
+}
+
+// New creates an untrained forest.
+func New(cfg Config) *Forest { return &Forest{cfg: cfg.withDefaults()} }
+
+// Factory returns an ml.Factory producing forests with this config.
+func Factory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Fit trains the ensemble on bootstrap samples of (x, y).
+func (f *Forest) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	maxFeat := f.cfg.MaxFeatures
+	if maxFeat == 0 {
+		maxFeat = int(math.Round(math.Sqrt(float64(dim))))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	n := len(x)
+	f.trees = make([]*tree.Tree, 0, f.cfg.NumTrees)
+	for t := 0; t < f.cfg.NumTrees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tr := tree.New(tree.Config{
+			MaxDepth:    f.cfg.MaxDepth,
+			MinLeaf:     f.cfg.MinLeaf,
+			MaxFeatures: maxFeat,
+			Seed:        rng.Int63(),
+		})
+		if err := tr.FitBootstrap(x, y, idx); err != nil {
+			return err
+		}
+		f.trees = append(f.trees, tr)
+	}
+	return nil
+}
+
+// PredictProba returns the ensemble-mean match probability per row.
+func (f *Forest) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if len(f.trees) == 0 {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for _, tr := range f.trees {
+		p := tr.PredictProba(x)
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package knn implements a k-nearest-neighbour binary classifier over
+// the KD-tree index, with optional inverse-distance weighting. It is a
+// strong lazy baseline on ER similarity features, where the class
+// structure is locally smooth.
+package knn
+
+import (
+	"math"
+
+	"transer/internal/kdtree"
+	"transer/internal/ml"
+)
+
+// Config holds k-NN hyper-parameters.
+type Config struct {
+	// K is the neighbourhood size; 0 means 7 (matching TransER's
+	// default neighbourhood).
+	K int
+	// DistanceWeighted weights votes by inverse distance when true.
+	DistanceWeighted bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 7
+	}
+	return c
+}
+
+// KNN is a trained k-NN classifier (training = indexing).
+type KNN struct {
+	cfg  Config
+	tree *kdtree.Tree
+	y    []int
+}
+
+// New creates an untrained classifier.
+func New(cfg Config) *KNN { return &KNN{cfg: cfg.withDefaults()} }
+
+// Factory returns an ml.Factory producing classifiers with this
+// config.
+func Factory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Fit indexes the training data.
+func (k *KNN) Fit(x [][]float64, y []int) error {
+	if _, err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	// The tree references the rows; copy to decouple from the caller.
+	rows := make([][]float64, len(x))
+	for i, r := range x {
+		rows[i] = append([]float64(nil), r...)
+	}
+	k.tree = kdtree.Build(rows)
+	k.y = append([]int(nil), y...)
+	return nil
+}
+
+// PredictProba returns the (weighted) match vote fraction per row.
+func (k *KNN) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if k.tree == nil {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, row := range x {
+		nn := k.tree.KNN(row, k.cfg.K, nil)
+		if len(nn) == 0 {
+			out[i] = 0.5
+			continue
+		}
+		var num, den float64
+		for _, n := range nn {
+			w := 1.0
+			if k.cfg.DistanceWeighted {
+				w = 1 / (math.Sqrt(n.Dist2) + 1e-9)
+			}
+			den += w
+			if k.y[n.ID] == 1 {
+				num += w
+			}
+		}
+		out[i] = num / den
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package knn
+
+import (
+	"errors"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/mltest"
+)
+
+func TestKNNSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(300, 4, 0.12, 1)
+	k := New(Config{})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	xt, yt := mltest.TwoBlobs(100, 4, 0.12, 2)
+	if acc := mltest.Accuracy(k.PredictProba(xt), yt); acc < 0.95 {
+		t.Errorf("test accuracy %.3f", acc)
+	}
+}
+
+func TestKNNXOR(t *testing.T) {
+	x, y := mltest.XOR(500, 0.06, 3)
+	k := New(Config{K: 5})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(k.PredictProba(x), y); acc < 0.9 {
+		t.Errorf("XOR accuracy %.3f", acc)
+	}
+}
+
+func TestKNNErrorsAndUntrained(t *testing.T) {
+	k := New(Config{})
+	if err := k.Fit(nil, nil); !errors.Is(err, ml.ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if err := k.Fit([][]float64{{1}, {0}}, []int{0, 0}); !errors.Is(err, ml.ErrSingleClass) {
+		t.Errorf("single class error = %v", err)
+	}
+	if p := k.PredictProba([][]float64{{0.5}}); p[0] != 0.5 {
+		t.Errorf("untrained should predict 0.5, got %v", p[0])
+	}
+}
+
+func TestKNNDistanceWeighting(t *testing.T) {
+	// Query next to a single match with two slightly farther
+	// non-matches: unweighted 1/3 vs weighted > 1/3.
+	x := [][]float64{{0.50}, {0.60}, {0.61}}
+	y := []int{1, 0, 0}
+	q := [][]float64{{0.505}}
+	plain := New(Config{K: 3})
+	weighted := New(Config{K: 3, DistanceWeighted: true})
+	if err := plain.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pp := plain.PredictProba(q)[0]
+	pw := weighted.PredictProba(q)[0]
+	if pw <= pp {
+		t.Errorf("distance weighting should favour the close match: %v vs %v", pw, pp)
+	}
+}
+
+func TestKNNCopiesTrainingData(t *testing.T) {
+	x := [][]float64{{0.1}, {0.9}}
+	y := []int{0, 1}
+	k := New(Config{K: 1})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slices must not affect the model.
+	x[0][0] = 0.95
+	y[0] = 1
+	p := k.PredictProba([][]float64{{0.1}})
+	if p[0] >= 0.5 {
+		t.Errorf("model shares storage with caller: %v", p[0])
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	x, y := mltest.TwoBlobs(2000, 8, 0.15, 4)
+	k := New(Config{})
+	if err := k.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	q, _ := mltest.TwoBlobs(100, 8, 0.15, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.PredictProba(q)
+	}
+}

@@ -1,0 +1,138 @@
+// Package logreg implements L2-regularised binary logistic regression
+// trained with full-batch gradient descent. Features are already in
+// [0, 1] in this repository, so no internal standardisation is needed.
+package logreg
+
+import (
+	"math"
+
+	"transer/internal/ml"
+)
+
+// Config holds logistic regression hyper-parameters; the zero value
+// uses the defaults noted per field.
+type Config struct {
+	// LearningRate for gradient descent; 0 means 1.0.
+	LearningRate float64
+	// Epochs of full-batch updates; 0 means 800.
+	Epochs int
+	// L2 regularisation strength; 0 means 1e-4. (Set to a negative
+	// value for explicitly unregularised training.)
+	L2 float64
+	// ClassWeight balances the loss by inverse class frequency when
+	// true — useful on the heavily imbalanced ER pair sets.
+	ClassWeight bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningRate == 0 {
+		c.LearningRate = 1.0
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 800
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	} else if c.L2 < 0 {
+		c.L2 = 0
+	}
+	return c
+}
+
+// LogReg is a logistic regression classifier.
+type LogReg struct {
+	cfg  Config
+	w    []float64
+	bias float64
+}
+
+// New creates an untrained model.
+func New(cfg Config) *LogReg { return &LogReg{cfg: cfg.withDefaults()} }
+
+// Factory returns an ml.Factory producing models with this config.
+func Factory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Fit trains with gradient descent on the logistic loss.
+func (l *LogReg) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	l.w = make([]float64, dim)
+	l.bias = 0
+	n := len(x)
+
+	w1, w0 := 1.0, 1.0
+	if l.cfg.ClassWeight {
+		ones := 0
+		for _, v := range y {
+			ones += v
+		}
+		zeros := n - ones
+		// Inverse-frequency weights normalised to mean 1.
+		w1 = float64(n) / (2 * float64(ones))
+		w0 = float64(n) / (2 * float64(zeros))
+	}
+
+	grad := make([]float64, dim)
+	for epoch := 0; epoch < l.cfg.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gradB := 0.0
+		for i, row := range x {
+			z := l.bias
+			for j, v := range row {
+				z += l.w[j] * v
+			}
+			p := sigmoid(z)
+			e := p - float64(y[i])
+			if y[i] == 1 {
+				e *= w1
+			} else {
+				e *= w0
+			}
+			for j, v := range row {
+				grad[j] += e * v
+			}
+			gradB += e
+		}
+		inv := 1 / float64(n)
+		lr := l.cfg.LearningRate
+		for j := range l.w {
+			l.w[j] -= lr * (grad[j]*inv + l.cfg.L2*l.w[j])
+		}
+		l.bias -= lr * gradB * inv
+	}
+	return nil
+}
+
+// PredictProba returns sigmoid(w·x + b) per row.
+func (l *LogReg) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		z := l.bias
+		for j, v := range row {
+			z += l.w[j] * v
+		}
+		out[i] = sigmoid(z)
+	}
+	return out
+}
+
+// Weights returns a copy of the trained weight vector (for tests and
+// model inspection).
+func (l *LogReg) Weights() ([]float64, float64) {
+	return append([]float64(nil), l.w...), l.bias
+}

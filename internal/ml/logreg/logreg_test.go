@@ -1,0 +1,135 @@
+package logreg
+
+import (
+	"errors"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/mltest"
+)
+
+func TestLogRegSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(300, 4, 0.12, 1)
+	l := New(Config{})
+	if err := l.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if acc := mltest.Accuracy(l.PredictProba(x), y); acc < 0.95 {
+		t.Errorf("training accuracy %.3f", acc)
+	}
+}
+
+func TestLogRegWeightsDirection(t *testing.T) {
+	// Positive class at high feature values → positive weights.
+	x, y := mltest.TwoBlobs(300, 3, 0.1, 2)
+	l := New(Config{})
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := l.Weights()
+	for j, v := range w {
+		if v <= 0 {
+			t.Errorf("weight %d = %v, want positive", j, v)
+		}
+	}
+}
+
+func TestLogRegClassWeight(t *testing.T) {
+	// Heavy imbalance: 10 positives vs 290 negatives. Class weighting
+	// should recover more positives than unweighted training.
+	x, y := mltest.TwoBlobs(600, 3, 0.25, 3)
+	var xi [][]float64
+	var yi []int
+	pos := 0
+	for i := range x {
+		if y[i] == 1 {
+			if pos >= 10 {
+				continue
+			}
+			pos++
+		}
+		xi = append(xi, x[i])
+		yi = append(yi, y[i])
+	}
+	plain := New(Config{})
+	weighted := New(Config{ClassWeight: true})
+	if err := plain.Fit(xi, yi); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Fit(xi, yi); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.TwoBlobs(200, 3, 0.25, 4)
+	recall := func(p []float64) float64 {
+		tp, fn := 0, 0
+		for i, v := range p {
+			if yt[i] == 1 {
+				if v >= 0.5 {
+					tp++
+				} else {
+					fn++
+				}
+			}
+		}
+		if tp+fn == 0 {
+			return 0
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	rw := recall(weighted.PredictProba(xt))
+	rp := recall(plain.PredictProba(xt))
+	if rw < rp {
+		t.Errorf("class weighting reduced recall: weighted %.3f < plain %.3f", rw, rp)
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	l := New(Config{})
+	if err := l.Fit(nil, nil); !errors.Is(err, ml.ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if err := l.Fit([][]float64{{1}, {0}}, []int{1, 1}); !errors.Is(err, ml.ErrSingleClass) {
+		t.Errorf("single class error = %v", err)
+	}
+}
+
+func TestLogRegProbabilityRange(t *testing.T) {
+	x, y := mltest.TwoBlobs(200, 4, 0.2, 5)
+	l := New(Config{})
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range l.PredictProba(x) {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestLogRegDeterministic(t *testing.T) {
+	x, y := mltest.TwoBlobs(100, 3, 0.15, 6)
+	l1, l2 := New(Config{}), New(Config{})
+	if err := l1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := l1.PredictProba(x), l2.PredictProba(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func BenchmarkLogRegFit(b *testing.B) {
+	x, y := mltest.TwoBlobs(1000, 8, 0.15, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := New(Config{})
+		if err := l.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

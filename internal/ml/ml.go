@@ -1,0 +1,133 @@
+// Package ml defines the classifier abstraction shared by the ER
+// pipeline, the TransER framework and all transfer baselines, plus the
+// registry of the four traditional classifiers the paper averages over
+// (SVM, random forest, logistic regression, decision tree — Section
+// 5.1.1).
+//
+// All classifiers are binary (match = 1, non-match = 0), consume dense
+// feature matrices with values in [0, 1], and expose calibrated-ish
+// match probabilities: the pseudo-label confidence scores of TransER's
+// GEN phase are exactly these probabilities.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a binary probabilistic classifier.
+type Classifier interface {
+	// Fit trains on the feature matrix x with labels y in {0, 1}.
+	Fit(x [][]float64, y []int) error
+	// PredictProba returns P(label = 1 | row) for each row of x. It
+	// must only be called after a successful Fit.
+	PredictProba(x [][]float64) []float64
+}
+
+// Factory creates a fresh, untrained classifier. TransER trains two
+// classifiers per run (GEN and TCL), so it takes factories rather than
+// instances.
+type Factory func() Classifier
+
+// Named pairs a factory with a display name for experiment tables.
+type Named struct {
+	Name string
+	New  Factory
+}
+
+// ErrNoTrainingData is returned by Fit when the training set is empty.
+var ErrNoTrainingData = errors.New("ml: no training data")
+
+// ErrSingleClass is returned by Fit when all training labels are
+// identical; callers may fall back to a constant classifier.
+var ErrSingleClass = errors.New("ml: training data contains a single class")
+
+// ValidateTrainingData performs the shared Fit precondition checks and
+// returns the feature dimensionality.
+func ValidateTrainingData(x [][]float64, y []int) (dim int, err error) {
+	if len(x) == 0 {
+		return 0, ErrNoTrainingData
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("ml: %d rows but %d labels", len(x), len(y))
+	}
+	dim = len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return 0, fmt.Errorf("ml: ragged feature matrix: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	seen0, seen1 := false, false
+	for i, l := range y {
+		switch l {
+		case 0:
+			seen0 = true
+		case 1:
+			seen1 = true
+		default:
+			return 0, fmt.Errorf("ml: label %d at row %d is not binary", l, i)
+		}
+	}
+	if !seen0 || !seen1 {
+		return dim, ErrSingleClass
+	}
+	return dim, nil
+}
+
+// Labels converts match probabilities into hard labels with the given
+// decision threshold (0.5 for all experiments in this repository).
+func Labels(proba []float64, threshold float64) []int {
+	out := make([]int, len(proba))
+	for i, p := range proba {
+		if p >= threshold {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Confidence converts a match probability into the confidence of the
+// predicted label: max(p, 1-p). This is the score Z^P of Algorithm 1.
+func Confidence(p float64) float64 {
+	if p >= 0.5 {
+		return p
+	}
+	return 1 - p
+}
+
+// Constant is a trivial classifier that always predicts the same
+// probability; it is the fallback when training data collapses to a
+// single class.
+type Constant struct{ P float64 }
+
+// Fit accepts any input.
+func (c *Constant) Fit(x [][]float64, y []int) error { return nil }
+
+// PredictProba returns the constant probability for every row.
+func (c *Constant) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = c.P
+	}
+	return out
+}
+
+// FitWithFallback trains a fresh classifier from the factory; if the
+// training data is single-class it falls back to a Constant classifier
+// predicting that class, mirroring scikit-learn pipelines that keep
+// running when a fold degenerates.
+func FitWithFallback(f Factory, x [][]float64, y []int) (Classifier, error) {
+	c := f()
+	err := c.Fit(x, y)
+	if err == nil {
+		return c, nil
+	}
+	if errors.Is(err, ErrSingleClass) {
+		p := 0.0
+		if len(y) > 0 && y[0] == 1 {
+			p = 1.0
+		}
+		return &Constant{P: p}, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,101 @@
+package ml
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateTrainingData(t *testing.T) {
+	x := [][]float64{{1, 0}, {0, 1}}
+	y := []int{1, 0}
+	dim, err := ValidateTrainingData(x, y)
+	if err != nil || dim != 2 {
+		t.Fatalf("valid data rejected: dim=%d err=%v", dim, err)
+	}
+	if _, err := ValidateTrainingData(nil, nil); !errors.Is(err, ErrNoTrainingData) {
+		t.Errorf("empty data should give ErrNoTrainingData, got %v", err)
+	}
+	if _, err := ValidateTrainingData(x, []int{1}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, err := ValidateTrainingData([][]float64{{1}, {1, 2}}, y); err == nil {
+		t.Errorf("ragged matrix accepted")
+	}
+	if _, err := ValidateTrainingData(x, []int{1, 2}); err == nil {
+		t.Errorf("non-binary label accepted")
+	}
+	if _, err := ValidateTrainingData(x, []int{1, 1}); !errors.Is(err, ErrSingleClass) {
+		t.Errorf("single class should give ErrSingleClass, got %v", err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels([]float64{0.9, 0.5, 0.49, 0.1}, 0.5)
+	want := []int{1, 1, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Labels[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	if Confidence(0.9) != 0.9 {
+		t.Errorf("Confidence(0.9) = %v", Confidence(0.9))
+	}
+	if Confidence(0.1) != 0.9 {
+		t.Errorf("Confidence(0.1) = %v", Confidence(0.1))
+	}
+	if Confidence(0.5) != 0.5 {
+		t.Errorf("Confidence(0.5) = %v", Confidence(0.5))
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := &Constant{P: 0.8}
+	if err := c.Fit(nil, nil); err != nil {
+		t.Fatalf("Constant.Fit: %v", err)
+	}
+	p := c.PredictProba([][]float64{{1}, {2}})
+	if len(p) != 2 || p[0] != 0.8 || p[1] != 0.8 {
+		t.Errorf("Constant proba = %v", p)
+	}
+}
+
+func TestFitWithFallback(t *testing.T) {
+	// Single-class data falls back to a constant of that class.
+	f := func() Classifier { return &failOnSingle{} }
+	c, err := FitWithFallback(f, [][]float64{{1}, {2}}, []int{1, 1})
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	p := c.PredictProba([][]float64{{3}})
+	if p[0] != 1 {
+		t.Errorf("fallback constant should predict 1, got %v", p[0])
+	}
+	c, err = FitWithFallback(f, [][]float64{{1}}, []int{0})
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if p := c.PredictProba([][]float64{{3}}); p[0] != 0 {
+		t.Errorf("fallback constant should predict 0, got %v", p[0])
+	}
+	// Other errors propagate.
+	g := func() Classifier { return &alwaysErr{} }
+	if _, err := FitWithFallback(g, [][]float64{{1}}, []int{0}); err == nil {
+		t.Errorf("non-single-class error should propagate")
+	}
+}
+
+type failOnSingle struct{}
+
+func (f *failOnSingle) Fit(x [][]float64, y []int) error {
+	_, err := ValidateTrainingData(x, y)
+	return err
+}
+func (f *failOnSingle) PredictProba(x [][]float64) []float64 { return make([]float64, len(x)) }
+
+type alwaysErr struct{}
+
+func (a *alwaysErr) Fit(x [][]float64, y []int) error     { return errors.New("boom") }
+func (a *alwaysErr) PredictProba(x [][]float64) []float64 { return nil }

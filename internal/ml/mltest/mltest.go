@@ -1,0 +1,73 @@
+// Package mltest provides shared synthetic classification problems for
+// testing the classifier implementations.
+package mltest
+
+import "math/rand"
+
+// TwoBlobs generates a linearly separable-ish binary problem: class 1
+// centred at (0.8, ..., 0.8), class 0 at (0.2, ..., 0.2), with the
+// given Gaussian spread. Returns n rows of dimension dim.
+func TwoBlobs(n, dim int, spread float64, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([][]float64, n)
+	y = make([]int, n)
+	for i := range x {
+		row := make([]float64, dim)
+		label := i % 2
+		centre := 0.2
+		if label == 1 {
+			centre = 0.8
+		}
+		for j := range row {
+			v := centre + rng.NormFloat64()*spread
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			row[j] = v
+		}
+		x[i] = row
+		y[i] = label
+	}
+	return x, y
+}
+
+// XOR generates the classic non-linearly-separable XOR problem in 2D
+// with jitter, for testing non-linear classifiers.
+func XOR(n int, jitter float64, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([][]float64, n)
+	y = make([]int, n)
+	for i := range x {
+		a := rng.Intn(2)
+		b := rng.Intn(2)
+		x[i] = []float64{
+			float64(a)*0.8 + 0.1 + rng.NormFloat64()*jitter,
+			float64(b)*0.8 + 0.1 + rng.NormFloat64()*jitter,
+		}
+		if a != b {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+// Accuracy returns the fraction of probabilities on the correct side
+// of 0.5.
+func Accuracy(proba []float64, y []int) float64 {
+	if len(proba) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range proba {
+		pred := 0
+		if p >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(proba))
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math/rand"
+
+	"transer/internal/ml"
+)
+
+// MLPConfig holds multilayer perceptron hyper-parameters; the zero
+// value uses the defaults noted per field.
+type MLPConfig struct {
+	// Hidden layer widths; nil means [16].
+	Hidden []int
+	// LearningRate for SGD; 0 means 0.05.
+	LearningRate float64
+	// Epochs over the training data; 0 means 80.
+	Epochs int
+	// Seed drives weight init and sample order.
+	Seed int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if c.Hidden == nil {
+		c.Hidden = []int{16}
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 80
+	}
+	return c
+}
+
+// MLP is a feed-forward binary classifier with sigmoid output trained
+// on cross-entropy loss by SGD.
+type MLP struct {
+	cfg    MLPConfig
+	layers stack
+}
+
+// NewMLP creates an untrained MLP.
+func NewMLP(cfg MLPConfig) *MLP { return &MLP{cfg: cfg.withDefaults()} }
+
+// MLPFactory returns an ml.Factory producing MLPs with this config.
+func MLPFactory(cfg MLPConfig) ml.Factory {
+	return func() ml.Classifier { return NewMLP(cfg) }
+}
+
+// Fit trains the network by per-sample SGD.
+func (m *MLP) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.layers = nil
+	prev := dim
+	for _, h := range m.cfg.Hidden {
+		m.layers = append(m.layers, newDense(prev, h, true, rng))
+		prev = h
+	}
+	m.layers = append(m.layers, newDense(prev, 1, false, rng))
+
+	n := len(x)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		for _, i := range rng.Perm(n) {
+			out := m.layers.forward(x[i])
+			p := sigmoid(out[0])
+			// dCE/dlogit = p - y
+			m.layers.backward([]float64{p - float64(y[i])}, m.cfg.LearningRate)
+		}
+	}
+	return nil
+}
+
+// PredictProba returns the sigmoid output per row.
+func (m *MLP) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if m.layers == nil {
+			out[i] = 0.5
+			continue
+		}
+		out[i] = sigmoid(m.layers.forward(row)[0])
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package svm
+
+import (
+	"errors"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/mltest"
+)
+
+func TestSVMSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(300, 4, 0.12, 1)
+	s := New(Config{Seed: 1})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if acc := mltest.Accuracy(s.PredictProba(x), y); acc < 0.95 {
+		t.Errorf("training accuracy %.3f", acc)
+	}
+}
+
+func TestSVMScoresSeparateClasses(t *testing.T) {
+	x, y := mltest.TwoBlobs(200, 3, 0.1, 2)
+	s := New(Config{Seed: 2})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	scores := s.Score(x)
+	var posMean, negMean float64
+	var nPos, nNeg int
+	for i, sc := range scores {
+		if y[i] == 1 {
+			posMean += sc
+			nPos++
+		} else {
+			negMean += sc
+			nNeg++
+		}
+	}
+	posMean /= float64(nPos)
+	negMean /= float64(nNeg)
+	if posMean <= negMean {
+		t.Errorf("positive score mean %.3f not above negative %.3f", posMean, negMean)
+	}
+}
+
+func TestSVMPlattCalibration(t *testing.T) {
+	x, y := mltest.TwoBlobs(400, 4, 0.15, 3)
+	s := New(Config{Seed: 3})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := s.PredictProba(x)
+	// Probabilities must be ordered consistently with the labels on
+	// average and stay inside (0, 1).
+	var posMean, negMean float64
+	var nPos, nNeg int
+	for i, v := range p {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("probability %v outside (0,1)", v)
+		}
+		if y[i] == 1 {
+			posMean += v
+			nPos++
+		} else {
+			negMean += v
+			nNeg++
+		}
+	}
+	if posMean/float64(nPos) < negMean/float64(nNeg)+0.3 {
+		t.Errorf("Platt probabilities poorly separated: pos %.3f vs neg %.3f",
+			posMean/float64(nPos), negMean/float64(nNeg))
+	}
+}
+
+func TestSVMErrors(t *testing.T) {
+	s := New(Config{})
+	if err := s.Fit(nil, nil); !errors.Is(err, ml.ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if err := s.Fit([][]float64{{1}, {0}}, []int{0, 0}); !errors.Is(err, ml.ErrSingleClass) {
+		t.Errorf("single class error = %v", err)
+	}
+}
+
+func TestSVMDeterministicWithSeed(t *testing.T) {
+	x, y := mltest.TwoBlobs(150, 3, 0.2, 5)
+	s1, s2 := New(Config{Seed: 11}), New(Config{Seed: 11})
+	if err := s1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := s1.PredictProba(x), s2.PredictProba(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func BenchmarkSVMFit(b *testing.B) {
+	x, y := mltest.TwoBlobs(1000, 8, 0.15, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Seed: int64(i)})
+		if err := s.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package tree implements a CART-style binary decision tree classifier
+// with Gini impurity splits. Leaf probabilities are Laplace-smoothed
+// class fractions, which gives the graded confidence scores TransER's
+// pseudo-label generator relies on.
+package tree
+
+import (
+	"math/rand"
+	"sort"
+
+	"transer/internal/ml"
+)
+
+// Config holds decision tree hyper-parameters. The zero value is
+// usable: it is replaced by the defaults below.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means 12.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples per leaf; 0 means 2.
+	MinLeaf int
+	// MaxFeatures limits the number of features considered per split
+	// (sampled without replacement); 0 means all features. Random
+	// forests set this to sqrt(m).
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// Tree is a trained decision tree classifier.
+type Tree struct {
+	cfg  Config
+	rng  *rand.Rand
+	root *node
+	dim  int
+}
+
+type node struct {
+	// Leaf fields.
+	leaf  bool
+	proba float64
+	// Split fields.
+	feature     int
+	threshold   float64
+	left, right *node
+}
+
+// New creates an untrained tree with the given configuration.
+func New(cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	return &Tree{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Factory returns an ml.Factory producing trees with this config.
+func Factory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Fit grows the tree on x, y.
+func (t *Tree) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	t.dim = dim
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, y, idx, 0)
+	return nil
+}
+
+// FitBootstrap grows the tree on a provided index multiset (used by
+// random forests to pass bagged samples without copying rows). It
+// bypasses the single-class error: a single-class bag yields a
+// single-leaf tree.
+func (t *Tree) FitBootstrap(x [][]float64, y []int, idx []int) error {
+	if len(x) == 0 || len(idx) == 0 {
+		return ml.ErrNoTrainingData
+	}
+	t.dim = len(x[0])
+	t.root = t.grow(x, y, idx, 0)
+	return nil
+}
+
+func leafProba(y []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0.5
+	}
+	ones := 0
+	for _, i := range idx {
+		ones += y[i]
+	}
+	// Raw class fractions, matching scikit-learn: pure leaves emit hard
+	// 0/1 probabilities, which keeps confidence thresholds like
+	// TransER's t_p = 0.99 attainable.
+	return float64(ones) / float64(len(idx))
+}
+
+func (t *Tree) grow(x [][]float64, y []int, idx []int, depth int) *node {
+	ones := 0
+	for _, i := range idx {
+		ones += y[i]
+	}
+	pure := ones == 0 || ones == len(idx)
+	if pure || depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+		return &node{leaf: true, proba: leafProba(y, idx)}
+	}
+	feat, thr, ok := t.bestSplit(x, y, idx)
+	if !ok {
+		return &node{leaf: true, proba: leafProba(y, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return &node{leaf: true, proba: leafProba(y, idx)}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(x, y, left, depth+1),
+		right:     t.grow(x, y, right, depth+1),
+	}
+}
+
+// bestSplit finds the (feature, threshold) pair minimising weighted
+// Gini impurity over candidate features.
+func (t *Tree) bestSplit(x [][]float64, y []int, idx []int) (feat int, thr float64, ok bool) {
+	features := t.candidateFeatures()
+	bestGini := gini(y, idx) // must strictly improve on the parent
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, 0, len(idx))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, fv{x[i][f], y[i]})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		totalOnes := 0
+		for _, v := range vals {
+			totalOnes += v.y
+		}
+		n := len(vals)
+		leftOnes := 0
+		for i := 0; i < n-1; i++ {
+			leftOnes += vals[i].y
+			if vals[i].v == vals[i+1].v {
+				continue // can only split between distinct values
+			}
+			nl := i + 1
+			nr := n - nl
+			gl := giniCounts(leftOnes, nl)
+			gr := giniCounts(totalOnes-leftOnes, nr)
+			g := (float64(nl)*gl + float64(nr)*gr) / float64(n)
+			if g < bestGini-1e-12 {
+				bestGini = g
+				feat = f
+				thr = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func (t *Tree) candidateFeatures() []int {
+	all := make([]int, t.dim)
+	for i := range all {
+		all[i] = i
+	}
+	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= t.dim {
+		return all
+	}
+	t.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	sub := all[:t.cfg.MaxFeatures]
+	sort.Ints(sub)
+	return sub
+}
+
+func gini(y []int, idx []int) float64 {
+	ones := 0
+	for _, i := range idx {
+		ones += y[i]
+	}
+	return giniCounts(ones, len(idx))
+}
+
+func giniCounts(ones, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(ones) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// PredictProba returns the leaf match probability for each row.
+func (t *Tree) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.predictOne(row)
+	}
+	return out
+}
+
+func (t *Tree) predictOne(row []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0.5
+	}
+	for !n.leaf {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.proba
+}
+
+// Depth returns the depth of the trained tree (0 for a single leaf).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	dl, dr := depth(n.left), depth(n.right)
+	if dl > dr {
+		return dl + 1
+	}
+	return dr + 1
+}

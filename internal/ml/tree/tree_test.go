@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+
+	"transer/internal/ml"
+	"transer/internal/ml/mltest"
+)
+
+func TestTreeSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(200, 4, 0.1, 1)
+	tr := New(Config{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if acc := mltest.Accuracy(tr.PredictProba(x), y); acc < 0.95 {
+		t.Errorf("training accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestTreeXOR(t *testing.T) {
+	x, y := mltest.XOR(400, 0.05, 2)
+	tr := New(Config{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if acc := mltest.Accuracy(tr.PredictProba(x), y); acc < 0.9 {
+		t.Errorf("XOR accuracy %.3f — tree should handle non-linear splits", acc)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr := New(Config{})
+	if err := tr.Fit(nil, nil); !errors.Is(err, ml.ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if err := tr.Fit([][]float64{{1}, {2}}, []int{1, 1}); !errors.Is(err, ml.ErrSingleClass) {
+		t.Errorf("single class error = %v", err)
+	}
+}
+
+func TestTreeUntrainedPredicts(t *testing.T) {
+	tr := New(Config{})
+	p := tr.PredictProba([][]float64{{0.5}})
+	if p[0] != 0.5 {
+		t.Errorf("untrained tree should predict 0.5, got %v", p[0])
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	x, y := mltest.XOR(400, 0.1, 3)
+	tr := New(Config{MaxDepth: 2})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if d := tr.Depth(); d > 2 {
+		t.Errorf("depth %d exceeds limit 2", d)
+	}
+}
+
+func TestTreeProbabilitiesHardOnPureLeaves(t *testing.T) {
+	// Clean separable data grows pure leaves whose probabilities are
+	// hard 0/1 — required so confidence thresholds near 1 (TransER's
+	// t_p = 0.99) remain attainable, matching scikit-learn behaviour.
+	x, y := mltest.TwoBlobs(100, 2, 0.05, 4)
+	tr := New(Config{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	sawHard := false
+	for _, p := range tr.PredictProba(x) {
+		if p < 0 || p > 1 {
+			t.Fatalf("leaf probability %v out of range", p)
+		}
+		if p == 0 || p == 1 {
+			sawHard = true
+		}
+	}
+	if !sawHard {
+		t.Errorf("no pure leaf produced a hard probability on separable data")
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	// All feature values identical → no valid split → single leaf.
+	x := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	y := []int{1, 0, 1, 0}
+	tr := New(Config{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	p := tr.PredictProba([][]float64{{0.5, 0.5}})
+	if p[0] != 0.5 {
+		t.Errorf("constant features should predict the prior 0.5, got %v", p[0])
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("expected single-leaf tree, depth %d", tr.Depth())
+	}
+}
+
+func TestFitBootstrapSingleClass(t *testing.T) {
+	// Bootstrap path tolerates single-class bags.
+	x := [][]float64{{0.1}, {0.2}}
+	y := []int{1, 1}
+	tr := New(Config{})
+	if err := tr.FitBootstrap(x, y, []int{0, 1}); err != nil {
+		t.Fatalf("FitBootstrap: %v", err)
+	}
+	p := tr.PredictProba([][]float64{{0.15}})
+	if p[0] < 0.5 {
+		t.Errorf("single-class bag should lean towards that class, got %v", p[0])
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory(Config{MaxDepth: 3})
+	c1, c2 := f(), f()
+	if c1 == c2 {
+		t.Errorf("factory should create fresh instances")
+	}
+	x, y := mltest.TwoBlobs(50, 2, 0.1, 5)
+	if err := c1.Fit(x, y); err != nil {
+		t.Fatalf("factory classifier Fit: %v", err)
+	}
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	x, y := mltest.TwoBlobs(1000, 8, 0.15, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(Config{})
+		if err := tr.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package strutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmithWaterman(t *testing.T) {
+	if SmithWaterman("", "") != 1 {
+		t.Errorf("empties should be 1")
+	}
+	if SmithWaterman("abc", "") != 0 {
+		t.Errorf("one empty should be 0")
+	}
+	if SmithWaterman("hello", "hello") != 1 {
+		t.Errorf("identical strings should be 1")
+	}
+	// Local alignment shines on shared substrings inside noise.
+	sub := SmithWaterman("xxjohnxx", "john")
+	if sub != 1 {
+		t.Errorf("contained substring should align perfectly, got %v", sub)
+	}
+	far := SmithWaterman("aaaa", "zzzz")
+	if far != 0 {
+		t.Errorf("disjoint strings should be 0, got %v", far)
+	}
+	near := SmithWaterman("jonathan", "johnathan")
+	if near < 0.7 {
+		t.Errorf("near names should score high, got %v", near)
+	}
+}
+
+func TestLongestCommonSubsequence(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abcde", "ace", 3},
+		{"abc", "def", 0},
+		{"", "abc", 0},
+		{"same", "same", 4},
+		{"AGGTAB", "GXTXAYB", 4},
+	}
+	for _, c := range cases {
+		if got := LongestCommonSubsequence(c.a, c.b); got != c.want {
+			t.Errorf("LCSeq(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCSeqSim(t *testing.T) {
+	if LCSeqSim("", "") != 1 {
+		t.Errorf("empties should be 1")
+	}
+	if LCSeqSim("abc", "") != 0 {
+		t.Errorf("one empty should be 0")
+	}
+	if LCSeqSim("abc", "abc") != 1 {
+		t.Errorf("identical should be 1")
+	}
+	v := LCSeqSim("abcde", "ace")
+	if math.Abs(v-2*3.0/8.0) > 1e-12 {
+		t.Errorf("LCSeqSim = %v", v)
+	}
+}
+
+func TestOverlapCoefficient(t *testing.T) {
+	if OverlapCoefficient("", "") != 1 {
+		t.Errorf("empties should be 1")
+	}
+	if OverlapCoefficient("a b", "") != 0 {
+		t.Errorf("one empty should be 0")
+	}
+	// Subset: abbreviation against full form.
+	if v := OverlapCoefficient("intl conf data eng", "intl conf data eng proceedings ieee"); v != 1 {
+		t.Errorf("subset tokens should give 1, got %v", v)
+	}
+	if v := OverlapCoefficient("a b c d", "c d e f"); v != 0.5 {
+		t.Errorf("half overlap = %v", v)
+	}
+}
+
+func TestNYSIIS(t *testing.T) {
+	// Equivalence classes the encoding must preserve.
+	same := [][2]string{
+		{"KNIGHT", "NIGHT"},
+		{"PHILIP", "FILIP"},
+	}
+	for _, pair := range same {
+		a, b := NYSIIS(pair[0]), NYSIIS(pair[1])
+		if a == "" || a != b {
+			t.Errorf("NYSIIS(%q)=%q != NYSIIS(%q)=%q", pair[0], a, pair[1], b)
+		}
+	}
+	if NYSIIS("") != "" {
+		t.Errorf("empty input should give empty code")
+	}
+	if NYSIIS("12 34") != "" {
+		t.Errorf("non-alphabetic input should give empty code")
+	}
+	if got := NYSIIS("MACDONALD"); got == "" || got[0] != 'M' {
+		t.Errorf("NYSIIS(MACDONALD) = %q", got)
+	}
+}
+
+func TestPropertyExtraSimilarities(t *testing.T) {
+	fns := map[string]func(a, b string) float64{
+		"SmithWaterman": SmithWaterman,
+		"LCSeqSim":      LCSeqSim,
+		"Overlap":       OverlapCoefficient,
+	}
+	for name, fn := range fns {
+		fn := fn
+		prop := func(a, b string) bool {
+			a, b = clip(a), clip(b)
+			v := fn(a, b)
+			if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+				return false
+			}
+			// identity
+			return math.Abs(fn(a, a)-1) < 1e-9
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s property failed: %v", name, err)
+		}
+	}
+}
+
+func TestPropertyNYSIISStable(t *testing.T) {
+	prop := func(s string) bool {
+		s = clip(s)
+		code := NYSIIS(s)
+		if len(code) > 6 {
+			return false
+		}
+		return NYSIIS(s) == code // deterministic
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("NYSIIS property failed: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+package transfer
+
+import (
+	"transer/internal/linalg"
+	"transer/internal/ml"
+)
+
+// Coral implements CORrelation ALignment (Sun, Feng, Saenko 2016):
+// whiten the source features with C_S^{-1/2}, re-colour with C_T^{1/2},
+// then train the classifier on the aligned source and apply it to the
+// target. Like the original, it aligns second-order statistics only,
+// which the paper shows is insufficient for ER's bi-modal, non-normal
+// feature distributions.
+type Coral struct {
+	// Ridge regularises the covariance estimates; 0 means 1.0 (the
+	// standard CORAL "+ I" regularisation).
+	Ridge float64
+}
+
+// Name implements Method.
+func (Coral) Name() string { return "Coral" }
+
+// Run implements Method.
+func (c Coral) Run(t *Task, factory ml.Factory) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	ridge := c.Ridge
+	if ridge == 0 {
+		ridge = 1.0
+	}
+	xs := linalg.FromRows(t.XS)
+	xt := linalg.FromRows(t.XT)
+	covS := linalg.Covariance(xs, ridge)
+	covT := linalg.Covariance(xt, ridge)
+	// A = C_S^{-1/2} * C_T^{1/2}; aligned source = X_S * A.
+	whiten := linalg.SymPow(covS, -0.5, 1e-9)
+	colour := linalg.SymPow(covT, 0.5, 1e-9)
+	align := whiten.Mul(colour)
+	alignedRows := xs.Mul(align)
+	aligned := make([][]float64, alignedRows.Rows)
+	for i := range aligned {
+		aligned[i] = alignedRows.Row(i)
+	}
+	clf, err := ml.FitWithFallback(factory, aligned, t.YS)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromProba(clf.PredictProba(t.XT)), nil
+}

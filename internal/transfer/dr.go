@@ -1,0 +1,216 @@
+package transfer
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"transer/internal/dataset"
+	"transer/internal/embed"
+	"transer/internal/kdtree"
+	"transer/internal/ml"
+)
+
+// DR implements the Reuse-and-Adaptation baseline of Thirumuruganathan
+// et al. (2018): record pairs are represented by distributed (word
+// embedding) features instead of similarity features, source instances
+// are re-weighted towards the target distribution, and a traditional
+// classifier is trained on the weighted representation.
+//
+// The original uses pre-trained FastText vectors; offline, the
+// embedder hashes word tokens to fixed pseudo-random vectors, which
+// reproduces FastText's out-of-vocabulary behaviour on structured
+// personal data: a typo or abbreviation maps a value to an unrelated
+// vector, so the representation carries little string-variation signal
+// and transfer turns negative — the failure mode the paper reports.
+type DR struct {
+	// EmbedDim is the per-attribute embedding width; 0 means 8.
+	EmbedDim int
+	// SubwordWeight blends FastText-style subword vectors (0 = pure
+	// word hashing, the default OOV-failure mode).
+	SubwordWeight float64
+	// WeightK is the neighbourhood size of the density-ratio instance
+	// weighting; 0 means 5.
+	WeightK int
+	// MaxWeightRef caps the reference-set size for the density-ratio
+	// estimate; 0 means 2000. KD-tree queries degenerate to linear
+	// scans in the high-dimensional embedding space, so the densities
+	// are estimated against a subsample.
+	MaxWeightRef int
+	// Seed drives embedding hashing and the weighted resampling.
+	Seed int64
+}
+
+// Name implements Method.
+func (DR) Name() string { return "DR" }
+
+// Run implements Method.
+func (c DR) Run(t *Task, factory ml.Factory) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.SourceA == nil || t.SourceB == nil || t.TargetA == nil || t.TargetB == nil {
+		return nil, errors.New("dr: requires raw databases and record pairs")
+	}
+	if len(t.SourcePairs) != len(t.XS) || len(t.TargetPairs) != len(t.XT) {
+		return nil, errors.New("dr: pair lists misaligned with feature matrices")
+	}
+	dim := c.EmbedDim
+	if dim == 0 {
+		dim = 8
+	}
+	wk := c.WeightK
+	if wk == 0 {
+		wk = 5
+	}
+	emb := embed.New(dim, c.SubwordWeight, c.Seed)
+
+	represent := func(a, b *dataset.Database, pairs []dataset.Pair) [][]float64 {
+		m := a.Schema.NumAttributes()
+		out := make([][]float64, len(pairs))
+		for i, p := range pairs {
+			ra, rb := a.Records[p.A], b.Records[p.B]
+			row := make([]float64, 0, m*(dim+1))
+			for q := 0; q < m; q++ {
+				row = append(row, emb.PairFeatures(ra.Values[q], rb.Values[q])...)
+			}
+			out[i] = row
+		}
+		return out
+	}
+	zs := represent(t.SourceA, t.SourceB, t.SourcePairs)
+	zt := represent(t.TargetA, t.TargetB, t.TargetPairs)
+
+	// Instance weighting: approximate the density ratio p_T(x)/p_S(x)
+	// per source instance by the ratio of its kNN distances within the
+	// source vs into the target (closer target neighbourhood => higher
+	// weight), then resample the source proportionally. Densities are
+	// estimated against subsampled reference sets: exact k-NN in the
+	// high-dimensional embedding space costs a linear scan per query.
+	maxRef := c.MaxWeightRef
+	if maxRef == 0 {
+		maxRef = 2000
+	}
+	refRng := rand.New(rand.NewSource(c.Seed + 1))
+	refS := subsampleRows(refRng, zs, maxRef)
+	refT := subsampleRows(refRng, zt, maxRef)
+	srcTree := kdtree.Build(refS)
+	tgtTree := kdtree.Build(refT)
+	weights := make([]float64, len(zs))
+	for i, z := range zs {
+		// Exclude exact self-duplicates by distance: the subsample may
+		// or may not contain row i itself, so drop one zero-distance
+		// neighbour instead of tracking identity.
+		nnS := srcTree.KNN(z, wk+1, nil)
+		if len(nnS) > 0 && nnS[0].Dist2 == 0 {
+			nnS = nnS[1:]
+		} else if len(nnS) > wk {
+			nnS = nnS[:wk]
+		}
+		dS := meanDist(nnS)
+		dT := meanDist(tgtTree.KNN(z, wk, nil))
+		switch {
+		case dT <= 0 && dS <= 0:
+			weights[i] = 1
+		case dT <= 0:
+			weights[i] = 4
+		case dS <= 0:
+			weights[i] = 0.25
+		default:
+			w := dS / dT
+			if w > 4 {
+				w = 4
+			} else if w < 0.25 {
+				w = 0.25
+			}
+			weights[i] = w
+		}
+	}
+	// The weighted resample also caps the training set: instance
+	// weighting needs a representative sample, not every row, and
+	// tree ensembles on the wide embedding space are expensive.
+	trainCap := len(zs)
+	if trainCap > 4*maxRef {
+		trainCap = 4 * maxRef
+	}
+	rx, ry := resampleWeightedN(zs, t.YS, weights, c.Seed, trainCap)
+
+	clf, err := ml.FitWithFallback(factory, rx, ry)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromProba(clf.PredictProba(zt)), nil
+}
+
+// subsampleRows picks at most max rows without replacement.
+func subsampleRows(rng *rand.Rand, rows [][]float64, max int) [][]float64 {
+	if len(rows) <= max {
+		return rows
+	}
+	idx := rng.Perm(len(rows))[:max]
+	out := make([][]float64, max)
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+func meanDist(nn []kdtree.Neighbour) float64 {
+	if len(nn) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, n := range nn {
+		s += math.Sqrt(n.Dist2)
+	}
+	return s / float64(len(nn))
+}
+
+// resampleWeighted draws len(x) rows with replacement with probability
+// proportional to weight, implementing instance re-weighting for
+// weight-unaware classifiers.
+func resampleWeighted(x [][]float64, y []int, w []float64, seed int64) ([][]float64, []int) {
+	return resampleWeightedN(x, y, w, seed, len(x))
+}
+
+// resampleWeightedN draws n rows with replacement proportional to
+// weight.
+func resampleWeightedN(x [][]float64, y []int, w []float64, seed int64, n int) ([][]float64, []int) {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		return x, y
+	}
+	// Cumulative distribution for inverse-CDF sampling.
+	cum := make([]float64, len(w))
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		cum[i] = acc
+	}
+	rng := rand.New(rand.NewSource(seed))
+	outX := make([][]float64, n)
+	outY := make([]int, n)
+	for i := range outX {
+		r := rng.Float64() * total
+		j := searchCum(cum, r)
+		outX[i] = x[j]
+		outY[i] = y[j]
+	}
+	return outX, outY
+}
+
+func searchCum(cum []float64, r float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,23 @@
+package transfer
+
+import "transer/internal/ml"
+
+// Naive trains the supplied classifier on the full labelled source and
+// applies it unchanged to the target — no transfer learning. It is the
+// Magellan/Tamer-style baseline of the paper.
+type Naive struct{}
+
+// Name implements Method.
+func (Naive) Name() string { return "Naive" }
+
+// Run implements Method.
+func (Naive) Run(t *Task, factory ml.Factory) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := ml.FitWithFallback(factory, t.XS, t.YS)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromProba(c.PredictProba(t.XT)), nil
+}

@@ -1,0 +1,34 @@
+package transfer
+
+import (
+	"transer/internal/core"
+	"transer/internal/ml"
+)
+
+// TransER adapts the core TransER framework to the Method interface so
+// the experiment harness can run it alongside the baselines. The zero
+// value uses the paper's default configuration.
+type TransER struct {
+	// Config holds TransER parameters; a zero Config is replaced by
+	// core.DefaultConfig().
+	Config core.Config
+}
+
+// Name implements Method.
+func (TransER) Name() string { return "TransER" }
+
+// Run implements Method.
+func (c TransER) Run(t *Task, factory ml.Factory) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := c.Config
+	if cfg == (core.Config{}) {
+		cfg = core.DefaultConfig()
+	}
+	res, err := core.Run(t.XS, t.YS, t.XT, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: res.Labels, Proba: res.Proba}, nil
+}

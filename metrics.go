@@ -1,0 +1,35 @@
+package transer
+
+import "transer/internal/eval"
+
+// Threshold-free evaluation helpers re-exported from internal/eval.
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint = eval.PRPoint
+
+// PRCurve computes the precision-recall curve of a probabilistic
+// prediction against the target domain's ground truth. The target must
+// be labelled.
+func PRCurve(res *Result, target *Domain) []PRPoint {
+	if target.Y == nil {
+		panic("transer: target domain has no ground truth labels")
+	}
+	return eval.PRCurve(res.Proba, target.Y)
+}
+
+// AveragePrecision is the area under the precision-recall curve.
+func AveragePrecision(res *Result, target *Domain) float64 {
+	if target.Y == nil {
+		panic("transer: target domain has no ground truth labels")
+	}
+	return eval.AveragePrecision(res.Proba, target.Y)
+}
+
+// BestFStar scans the PR curve for the decision threshold maximising
+// the F*-measure (useful when a labelled validation subset exists).
+func BestFStar(res *Result, target *Domain) (threshold, fstar float64) {
+	if target.Y == nil {
+		panic("transer: target domain has no ground truth labels")
+	}
+	return eval.BestFStar(res.Proba, target.Y)
+}

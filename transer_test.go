@@ -1,0 +1,256 @@
+package transer
+
+import (
+	"testing"
+)
+
+func tinyTask() TransferTask {
+	tasks := PaperTasks(0.05)
+	return tasks[0] // DBLP-ACM -> DBLP-Scholar
+}
+
+func TestNewDomain(t *testing.T) {
+	task := tinyTask()
+	d, err := NewDomain(task.Source.A, task.Source.B)
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	if d.NumPairs() == 0 {
+		t.Fatal("no candidate pairs from blocking")
+	}
+	if !d.Labelled() {
+		t.Fatal("generated data should be labelled")
+	}
+	if d.NumFeatures() != 4 {
+		t.Errorf("bibliographic feature space width %d, want 4", d.NumFeatures())
+	}
+	if mf := d.MatchFraction(); mf <= 0 || mf >= 1 {
+		t.Errorf("match fraction %v implausible", mf)
+	}
+	if len(d.X) != d.NumPairs() || len(d.Y) != d.NumPairs() {
+		t.Errorf("matrix/labels misaligned with pairs")
+	}
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	task := tinyTask()
+	if _, err := NewDomain(nil, task.Source.B); err == nil {
+		t.Errorf("nil database accepted")
+	}
+	other := PaperTasks(0.05)[2] // music schema
+	if _, err := NewDomain(task.Source.A, other.Source.B); err == nil {
+		t.Errorf("schema mismatch accepted")
+	}
+}
+
+func TestNewDomainOptions(t *testing.T) {
+	task := tinyTask()
+	d, err := NewDomain(task.Source.A, task.Source.B,
+		WithName("custom"), WithoutLabels(),
+		WithBlocking(BlockingConfig{NumHashes: 32, Bands: 8, Seed: 5}))
+	if err != nil {
+		t.Fatalf("NewDomain with options: %v", err)
+	}
+	if d.Name != "custom" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if d.Labelled() {
+		t.Errorf("WithoutLabels ignored")
+	}
+}
+
+func TestTransferEndToEnd(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatalf("BuildDomains: %v", err)
+	}
+	res, err := Transfer(src, tgt)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if len(res.Labels) != tgt.NumPairs() {
+		t.Fatalf("output size %d, want %d", len(res.Labels), tgt.NumPairs())
+	}
+	m := res.Evaluate(tgt)
+	if m.FStar <= 0 {
+		t.Errorf("F* = %v — transfer learned nothing", m.FStar)
+	}
+	if res.Stats.Selected == 0 {
+		t.Errorf("no instances selected")
+	}
+	matches := res.Matches(tgt)
+	ones := 0
+	for _, l := range res.Labels {
+		ones += l
+	}
+	if len(matches) != ones {
+		t.Errorf("Matches() size %d != predicted match count %d", len(matches), ones)
+	}
+}
+
+func TestTransferRequiresLabelledSource(t *testing.T) {
+	task := tinyTask()
+	src, err := NewDomain(task.Source.A, task.Source.B, WithoutLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewDomain(task.Target.A, task.Target.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transfer(src, tgt); err == nil {
+		t.Errorf("unlabelled source accepted")
+	}
+	if _, err := Transfer(nil, tgt); err == nil {
+		t.Errorf("nil source accepted")
+	}
+}
+
+func TestTransferWithOptions(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.K = 5
+	res, err := Transfer(src, tgt, WithConfig(cfg), WithClassifier(StandardClassifiers(1)[3].New))
+	if err != nil {
+		t.Fatalf("Transfer with options: %v", err)
+	}
+	if len(res.Labels) != tgt.NumPairs() {
+		t.Errorf("wrong output size")
+	}
+}
+
+func TestEvaluatePanicsOnUnlabelledTarget(t *testing.T) {
+	task := tinyTask()
+	src, _ := NewDomain(task.Source.A, task.Source.B)
+	tgt, _ := NewDomain(task.Target.A, task.Target.B, WithoutLabels())
+	res, err := Transfer(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Evaluate on unlabelled target should panic")
+		}
+	}()
+	res.Evaluate(tgt)
+}
+
+func TestStandardClassifiers(t *testing.T) {
+	cs := StandardClassifiers(1)
+	if len(cs) != 4 {
+		t.Fatalf("expected 4 classifiers, got %d", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.Name] = true
+		if c.New == nil {
+			t.Errorf("classifier %s has nil factory", c.Name)
+		}
+	}
+	for _, want := range []string{"svm", "rf", "logreg", "dtree"} {
+		if !names[want] {
+			t.Errorf("missing classifier %q", want)
+		}
+	}
+}
+
+func TestMethodsAndByName(t *testing.T) {
+	ms := Methods(1)
+	if len(ms) != 7 {
+		t.Fatalf("expected 7 methods, got %d", len(ms))
+	}
+	for _, m := range ms {
+		got, err := MethodByName(m.Name(), 1)
+		if err != nil {
+			t.Errorf("MethodByName(%q): %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("round trip name mismatch")
+		}
+	}
+	if _, err := MethodByName("nope", 1); err == nil {
+		t.Errorf("unknown method accepted")
+	}
+}
+
+func TestEvaluateMethodProtocol(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := EvaluateMethod(TransERWithConfig(DefaultConfig()), src, tgt, StandardClassifiers(1)[:2])
+	if err != nil {
+		t.Fatalf("EvaluateMethod: %v", err)
+	}
+	if len(me.PerClassifier) != 2 {
+		t.Errorf("per-classifier runs = %d", len(me.PerClassifier))
+	}
+	if me.Runtime <= 0 {
+		t.Errorf("runtime not measured")
+	}
+	if me.Aggregate.FStar.Mean <= 0 {
+		t.Errorf("aggregate F* = %v", me.Aggregate.FStar.Mean)
+	}
+	// Unlabelled target rejected.
+	tgtU, _ := NewDomain(tinyTask().Target.A, tinyTask().Target.B, WithoutLabels())
+	if _, err := EvaluateMethod(TransERWithConfig(DefaultConfig()), src, tgtU, nil); err == nil {
+		t.Errorf("unlabelled target accepted by EvaluateMethod")
+	}
+}
+
+func TestRunMethodNaive(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MethodByName("Naive", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMethod(m, src, tgt, DefaultClassifier())
+	if err != nil {
+		t.Fatalf("RunMethod: %v", err)
+	}
+	if len(res.Labels) != tgt.NumPairs() {
+		t.Errorf("wrong output size")
+	}
+}
+
+func TestGenerateCustomSpec(t *testing.T) {
+	pair := Generate(GeneratorSpec{
+		Name: "custom", Kind: 0, Seed: 42, NumEntities: 120,
+		FracA: 0.8, FracB: 0.8, AmbiguityFrac: 0.1,
+	})
+	if pair.A.NumRecords() == 0 || pair.B.NumRecords() == 0 {
+		t.Errorf("custom generation produced empty databases")
+	}
+	if len(pair.Truth()) == 0 {
+		t.Errorf("custom generation produced no matches")
+	}
+}
+
+func TestPRCurvePublicAPI(t *testing.T) {
+	src, tgt, err := BuildDomains(tinyTask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transfer(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := PRCurve(res, tgt)
+	if len(curve) == 0 {
+		t.Fatal("empty PR curve")
+	}
+	ap := AveragePrecision(res, tgt)
+	if ap <= 0 || ap > 1 {
+		t.Errorf("average precision %v out of range", ap)
+	}
+	thr, f := BestFStar(res, tgt)
+	if thr < 0 || thr > 1 || f <= 0 || f > 1 {
+		t.Errorf("best F* = %v @ %v implausible", f, thr)
+	}
+}
