@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test vet race check golden bench experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full unit-test suite (includes the fast golden-output checks that
+# regenerate Table 1, Figure 2 and Figure 5 at full scale).
+test:
+	$(GO) test ./...
+
+# Race-detector pass over everything that finishes quickly; the slow
+# experiment grids are excluded via testing.Short so this stays within
+# a few minutes even on one core.
+race:
+	$(GO) test -race -short ./...
+
+check: vet test race
+
+# Regenerate the slow full-scale experiments (Table 2/3, Figures 6/7,
+# Table 4) in-process and diff them against the checked-in
+# *_output.txt files. Takes on the order of an hour on a single core.
+golden:
+	TRANSER_GOLDEN=1 $(GO) test -run TestGoldenFull -timeout 300m -v ./internal/experiments/
+
+# Reduced-scale experiment benchmarks, including the serial-vs-parallel
+# worker sweeps recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Full-scale regeneration of every table and figure.
+experiments:
+	$(GO) run ./cmd/experiments -exp all

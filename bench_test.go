@@ -112,3 +112,52 @@ func BenchmarkTable4Ablation(b *testing.B) {
 		}
 	}
 }
+
+// Worker-sweep benchmarks: the same experiment at workers=1 (serial)
+// and workers=0 (one per CPU). Because every result lands in an
+// index-addressed slot, the outputs are byte-identical across the
+// sweep — only the wall clock changes. EXPERIMENTS.md records the
+// measured speedups.
+
+// workerCounts are the bounds compared by the sweep benchmarks.
+func workerCounts() []struct {
+	name string
+	n    int
+} {
+	return []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"allCPUs", 0}}
+}
+
+// BenchmarkTable1Workers isolates the compare.Matrix fan-out: Table 1
+// is dominated by feature-matrix construction over the record pairs.
+func BenchmarkTable1Workers(b *testing.B) {
+	for _, wc := range workerCounts() {
+		b.Run(wc.name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = wc.n
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table1(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Workers exercises the (task, method) cell fan-out of
+// the experiment harness plus the parallel SEL/GEN/TCL internals.
+func BenchmarkTable2Workers(b *testing.B) {
+	for _, wc := range workerCounts() {
+		b.Run(wc.name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = wc.n
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table2(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -7,9 +7,13 @@
 //	experiments -exp all                  # everything
 //	experiments -exp table2 -scale 0.5    # one experiment at a scale
 //	experiments -exp table2 -skip-slow    # drop DTAL* (hours -> minutes)
+//	experiments -exp table2 -workers 4    # bound the worker pool
 //
 // Experiments: table1, figure2, figure5, table2 (includes table3),
 // figure6, figure7, table4, all.
+//
+// All output except the wall-clock lines and the Table 3 runtime
+// column is byte-identical for every -workers value (including 1).
 package main
 
 import (
@@ -27,88 +31,26 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "data set size scale factor")
 		seed     = flag.Int64("seed", 1, "random seed")
 		skipSlow = flag.Bool("skip-slow", false, "skip the slowest baseline (DTAL*)")
+		workers  = flag.Int("workers", 0, "max worker goroutines (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
-	opts := experiments.Options{Scale: *scale, Seed: *seed, SkipSlow: *skipSlow}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, SkipSlow: *skipSlow, Workers: *workers}
 
-	run := func(name string, fn func() error) {
+	ran := false
+	for _, name := range experiments.Names() {
+		if *exp != "all" && *exp != name && !(*exp == "table3" && name == "table2") {
+			continue
+		}
+		ran = true
 		start := time.Now()
-		fmt.Printf("== %s (scale %.2f) ==\n", name, *scale)
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+		if err := experiments.RenderExperiment(os.Stdout, name, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", experiments.HeadName(name), err)
 			os.Exit(1)
 		}
-		fmt.Printf("-- %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v\n\n", experiments.HeadName(name), time.Since(start).Round(time.Millisecond))
 	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-
-	if want("table1") {
-		run("table1", func() error {
-			t, err := experiments.Table1(opts)
-			if err != nil {
-				return err
-			}
-			t.Render(os.Stdout)
-			return nil
-		})
-	}
-	if want("figure2") {
-		run("figure2", func() error {
-			hs, err := experiments.Figure2(opts)
-			if err != nil {
-				return err
-			}
-			experiments.RenderHistograms(os.Stdout, hs)
-			return nil
-		})
-	}
-	if want("figure5") {
-		run("figure5", func() error {
-			experiments.RenderDecay(os.Stdout, experiments.Figure5())
-			return nil
-		})
-	}
-	if want("table2") || want("table3") {
-		run("table2+table3", func() error {
-			res, err := experiments.Table2(opts)
-			if err != nil {
-				return err
-			}
-			res.QualityTable().Render(os.Stdout)
-			fmt.Println()
-			res.RuntimeTable().Render(os.Stdout)
-			return nil
-		})
-	}
-	if want("figure6") {
-		run("figure6", func() error {
-			rows, err := experiments.Figure6(opts)
-			if err != nil {
-				return err
-			}
-			experiments.SweepTable("Figure 6: sensitivity to labelled source fraction", rows).Render(os.Stdout)
-			return nil
-		})
-	}
-	if want("figure7") {
-		run("figure7", func() error {
-			rows, err := experiments.Figure7(opts)
-			if err != nil {
-				return err
-			}
-			experiments.SweepTable("Figure 7: parameter sensitivity (t_c, t_l, t_p, k)", rows).Render(os.Stdout)
-			return nil
-		})
-	}
-	if want("table4") {
-		run("table4", func() error {
-			t, err := experiments.Table4(opts)
-			if err != nil {
-				return err
-			}
-			t.Render(os.Stdout)
-			return nil
-		})
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"transer/internal/dataset"
+	"transer/internal/parallel"
 	"transer/internal/strutil"
 )
 
@@ -47,6 +48,10 @@ type Scheme struct {
 	// reproduces that discreteness, which the local-neighbourhood
 	// machinery of instance selection methods depends on.
 	Quantize float64
+	// Workers bounds the goroutines Matrix uses to build the feature
+	// matrix; 0 means one per CPU, 1 forces serial construction. The
+	// matrix is identical for every worker count.
+	Workers int
 }
 
 // NumFeatures returns the feature space dimensionality m.
@@ -174,12 +179,18 @@ func (s Scheme) Pair(a, b dataset.Record) []float64 {
 	return x
 }
 
-// Matrix computes the feature matrix for all candidate pairs.
+// Matrix computes the feature matrix for all candidate pairs, using
+// up to s.Workers goroutines over contiguous pair chunks. Each row
+// depends only on its own pair, so the matrix is bitwise identical
+// regardless of the worker count.
 func (s Scheme) Matrix(a, b *dataset.Database, pairs []dataset.Pair) [][]float64 {
 	x := make([][]float64, len(pairs))
-	for i, p := range pairs {
-		x[i] = s.Pair(a.Records[p.A], b.Records[p.B])
-	}
+	parallel.ForEachChunk(s.Workers, len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			x[i] = s.Pair(a.Records[p.A], b.Records[p.B])
+		}
+	})
 	return x
 }
 

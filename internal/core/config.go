@@ -36,6 +36,10 @@ type Config struct {
 	// Seed drives the under-sampling and any stochastic classifier
 	// the caller supplies.
 	Seed int64
+	// Workers bounds the goroutines used by the SEL phase and by GEN/
+	// TCL batch prediction; 0 means one per CPU, 1 forces serial
+	// execution. Results are identical for every worker count.
+	Workers int
 
 	// Ablation switches (paper Table 4). All false by default.
 

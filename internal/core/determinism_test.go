@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// runAt executes Run with a fixed worker count and fails the test on
+// error.
+func runAt(t *testing.T, xs [][]float64, ys []int, xt [][]float64, workers int) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	res, err := Run(xs, ys, xt, treeFactory(), cfg)
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+// sameResult compares the transferred outputs bitwise (probabilities
+// via Float64bits so -0.0 vs 0.0 or NaN payload drift would fail).
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Labels) != len(b.Labels) || len(a.Proba) != len(b.Proba) {
+		t.Fatalf("%s: output sizes differ", label)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("%s: labels differ at %d: %d vs %d", label, i, a.Labels[i], b.Labels[i])
+		}
+		if math.Float64bits(a.Proba[i]) != math.Float64bits(b.Proba[i]) {
+			t.Fatalf("%s: probabilities differ at %d: %v vs %v", label, i, a.Proba[i], b.Proba[i])
+		}
+		if a.PseudoLabels[i] != b.PseudoLabels[i] {
+			t.Fatalf("%s: pseudo labels differ at %d", label, i)
+		}
+	}
+	if a.Stats.Selected != b.Stats.Selected || a.Stats.HighConfidence != b.Stats.HighConfidence {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, a.Stats, b.Stats)
+	}
+}
+
+// TestRunIdenticalAcrossWorkerCounts is the pipeline-level determinism
+// guarantee: the worker count is a throughput knob, never a results
+// knob. The target is large enough (>512 rows) to take the chunked
+// parallel prediction path in both GEN and TCL.
+func TestRunIdenticalAcrossWorkerCounts(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(400, 1200, 0.05, 0.2, 21)
+	serial := runAt(t, xs, ys, xt, 1)
+	for _, w := range []int{2, 8} {
+		sameResult(t, "workers=1 vs workers="+strconv.Itoa(w), serial, runAt(t, xs, ys, xt, w))
+	}
+	// Oversubscribed: 8 workers on a single scheduler thread must not
+	// change results either (the ISSUE's GOMAXPROCS=1 regime).
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	sameResult(t, "GOMAXPROCS=1 workers=8", serial, runAt(t, xs, ys, xt, 8))
+}
+
+// TestSelectInstancesIdenticalAcrossWorkers pins the SEL phase alone:
+// the selected index list must not depend on how the duplicate groups
+// are chunked over goroutines.
+func TestSelectInstancesIdenticalAcrossWorkers(t *testing.T) {
+	xs, ys, xt := quantizedProblem(300, 3, 17)
+	base := SelectInstances(xs, ys, xt, Config{K: 5, TC: 0.7, TL: 0.7, TP: 0.9, B: 3, Workers: 1})
+	for _, w := range []int{2, 5, 16} {
+		got := SelectInstances(xs, ys, xt, Config{K: 5, TC: 0.7, TL: 0.7, TP: 0.9, B: 3, Workers: w})
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: kept %d, serial kept %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: selection differs at position %d", w, i)
+			}
+		}
+	}
+}

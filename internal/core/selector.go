@@ -2,10 +2,9 @@ package core
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"transer/internal/kdtree"
+	"transer/internal/parallel"
 )
 
 // decayRate is the exponential decay coefficient of Equation (2); the
@@ -57,6 +56,13 @@ func (s *selector) similaritiesFor(i int) InstanceSimilarities {
 	k := s.cfg.K
 	nnS := s.srcTree.KNN(x, k, func(id int) bool { return id == i })
 	nnT := s.tgtTree.KNN(x, k, nil)
+	return s.simsFrom(i, nnS, nnT)
+}
+
+// simsFrom evaluates Equations (1), (2) and the sim_v ablation for
+// instance i given its already-resolved neighbourhoods.
+func (s *selector) simsFrom(i int, nnS, nnT []kdtree.Neighbour) InstanceSimilarities {
+	x := s.xs[i]
 
 	sims := InstanceSimilarities{SimC: 1, SimL: 1, SimV: 1}
 
@@ -136,21 +142,18 @@ func (s *selector) accepted(sims InstanceSimilarities) bool {
 // indices of the transferred instances, in order.
 //
 // Real linkage feature matrices contain heavily repeated vectors
-// (Table 1 of the paper counts them), and both SEL similarities depend
-// on an instance only through its feature vector and label: duplicates
-// at distance zero contribute identical neighbour label multisets
-// regardless of which copy is excluded as "self". The decision is
-// therefore computed once per distinct (vector, label) group and
-// shared by all group members, which turns the O(n) KNN queries into
-// O(#distinct groups) without changing any result.
+// (Table 1 of the paper counts them), and the SEL similarities depend
+// on an instance only through its feature vector, its label and its
+// self-exclusion from the source KNN query. Instances are therefore
+// grouped by distinct (vector, label) and each group resolves one
+// shared (k+1)-NN query instead of one KNN query per instance, which
+// turns the O(n) tree searches into O(#distinct groups) without
+// changing any result (see decideGroup for the exact equivalence
+// argument).
 func (s *selector) selectInstances() []int {
 	n := len(s.xs)
-	type group struct {
-		rep     int // representative instance index
-		members []int
-	}
-	byKey := make(map[string]*group)
-	var order []*group
+	byKey := make(map[string]*[]int)
+	var order []*[]int
 	var keyBuf []byte
 	for i := 0; i < n; i++ {
 		keyBuf = keyBuf[:0]
@@ -161,45 +164,19 @@ func (s *selector) selectInstances() []int {
 		k := string(keyBuf)
 		g := byKey[k]
 		if g == nil {
-			g = &group{rep: i}
+			g = new([]int)
 			byKey[k] = g
 			order = append(order, g)
 		}
-		g.members = append(g.members, i)
+		*g = append(*g, i)
 	}
 
 	keep := make([]bool, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(order) {
-		workers = len(order)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (len(order) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(order) {
-			hi = len(order)
+	parallel.ForEachChunk(s.cfg.Workers, len(order), func(lo, hi int) {
+		for _, g := range order[lo:hi] {
+			s.decideGroup(*g, keep)
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for _, g := range order[lo:hi] {
-				if s.accepted(s.similaritiesFor(g.rep)) {
-					for _, m := range g.members {
-						keep[m] = true
-					}
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	out := make([]int, 0, n)
 	for i, k := range keep {
 		if k {
@@ -207,6 +184,62 @@ func (s *selector) selectInstances() []int {
 		}
 	}
 	return out
+}
+
+// decideGroup writes the SEL decision for every member of one
+// duplicate (vector, label) group into keep.
+//
+// The per-instance reference takes, for instance i, the k nearest
+// source candidates in canonical (distance, id) order with i itself
+// excluded. Querying k+1 candidates once without exclusion makes that
+// derivable for every member: if i is among the k+1 candidates its
+// neighbour set is the remaining k; otherwise it is the first k
+// (dropping i from the tail changes nothing). The sims depend on
+// neighbours only through coordinates and labels, and group members
+// share both, so swapping one in-candidate member for another is
+// invisible — at most two distinct outcomes exist per group (members
+// inside the candidate window and members beyond it), and each is
+// computed once.
+func (s *selector) decideGroup(members []int, keep []bool) {
+	x := s.xs[members[0]]
+	k := s.cfg.K
+	cand := s.srcTree.KNN(x, k+1, nil)
+	nnT := s.tgtTree.KNN(x, k, nil)
+
+	inCand := func(id int) bool {
+		for _, c := range cand {
+			if c.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	var accIn, accOut, haveIn, haveOut bool
+	for _, m := range members {
+		if inCand(m) {
+			if !haveIn {
+				nnS := make([]kdtree.Neighbour, 0, len(cand)-1)
+				for _, c := range cand {
+					if c.ID != m {
+						nnS = append(nnS, c)
+					}
+				}
+				accIn = s.accepted(s.simsFrom(m, nnS, nnT))
+				haveIn = true
+			}
+			keep[m] = accIn
+		} else {
+			if !haveOut {
+				nnS := cand
+				if len(nnS) > k {
+					nnS = nnS[:k]
+				}
+				accOut = s.accepted(s.simsFrom(m, nnS, nnT))
+				haveOut = true
+			}
+			keep[m] = accOut
+		}
+	}
 }
 
 // appendFloatKey appends a compact exact encoding of v.

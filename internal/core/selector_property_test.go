@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGridMatrix samples rows from a coarse value grid so exact
+// duplicates occur naturally, then injects verbatim duplicate rows and
+// flips some zeros to -0.0 (which appendFloatKey must keep distinct
+// from +0.0 without changing the selection result — the vectors still
+// compare equal in feature space).
+func randomGridMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	grid := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			v := grid[rng.Intn(len(grid))]
+			if v == 0 && rng.Intn(2) == 0 {
+				v = math.Copysign(0, -1)
+			}
+			row[j] = v
+		}
+		x[i] = row
+	}
+	// Force duplicate rows: overwrite a third of the matrix with copies
+	// of earlier rows (sharing the backing slice, as compare.Matrix
+	// never would, is fine — the selector must not mutate features).
+	for k := 0; k < n/3; k++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		x[dst] = x[src]
+	}
+	return x
+}
+
+// TestSelectInstancesPropertyEquivalence cross-checks the grouped fast
+// path against the naive per-instance reference on randomised inputs
+// with heavy duplication, mixed labels on identical vectors, and
+// signed zeros. Seeds are fixed so the trials are reproducible.
+func TestSelectInstancesPropertyEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(90)
+		m := 2 + rng.Intn(3)
+		xs := randomGridMatrix(rng, n, m)
+		ys := make([]int, n)
+		for i := range ys {
+			ys[i] = rng.Intn(2)
+		}
+		xt := randomGridMatrix(rng, n/2+10, m)
+		cfg := Config{
+			K:          []int{3, 5, 7}[rng.Intn(3)],
+			TC:         []float64{0.5, 0.7, 0.9}[rng.Intn(3)],
+			TL:         []float64{0.5, 0.7, 0.9}[rng.Intn(3)],
+			TP:         0.9,
+			B:          3,
+			EnableSimV: rng.Intn(2) == 0,
+			TV:         0.7,
+			Workers:    1 + rng.Intn(4),
+		}
+		got := SelectInstances(xs, ys, xt, cfg)
+		want := referenceSelect(xs, ys, xt, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d (n=%d m=%d cfg=%+v): fast path kept %d, reference kept %d",
+				seed, n, m, cfg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: selection differs at position %d: %d vs %d",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendFloatKeyDistinguishesSignedZero pins the encoding detail
+// the grouping relies on: +0.0 and -0.0 are different group keys (they
+// have different bit patterns), while equal values always produce
+// equal keys.
+func TestAppendFloatKeyDistinguishesSignedZero(t *testing.T) {
+	pos := string(appendFloatKey(nil, 0))
+	neg := string(appendFloatKey(nil, math.Copysign(0, -1)))
+	if pos == neg {
+		t.Errorf("+0.0 and -0.0 encode to the same key")
+	}
+	if a, b := string(appendFloatKey(nil, 0.35)), string(appendFloatKey(nil, 0.35)); a != b {
+		t.Errorf("equal values encode to different keys")
+	}
+	if len(appendFloatKey(nil, 0.35)) != 8 {
+		t.Errorf("key must be the fixed 8-byte Float64bits encoding")
+	}
+}
+
+// TestSelectInstancesSignedZeroGroups: rows identical except for the
+// sign of a zero land in different duplicate groups, yet both groups
+// must get the decision the reference implementation assigns them.
+func TestSelectInstancesSignedZeroGroups(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	xs := [][]float64{
+		{0, 0.8}, {negZero, 0.8}, {0, 0.8}, {negZero, 0.8},
+		{0.8, 0.8}, {0.8, 0.8}, {0.8, 0.8}, {0.8, 0.8},
+	}
+	ys := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	xt := xs
+	cfg := DefaultConfig()
+	got := SelectInstances(xs, ys, xt, cfg)
+	want := referenceSelect(xs, ys, xt, cfg)
+	if len(got) != len(want) {
+		t.Fatalf("signed-zero groups: fast path kept %d, reference kept %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("signed-zero groups differ at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -72,7 +72,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	if err != nil {
 		return nil, fmt.Errorf("core: GEN training failed: %w", err)
 	}
-	proba := cu.PredictProba(xt)
+	proba := ml.ParallelProba(cu, xt, cfg.Workers)
 	res.PseudoLabels = ml.Labels(proba, 0.5)
 	res.PseudoConfidence = make([]float64, len(proba))
 	for i, p := range proba {
@@ -120,7 +120,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	if err != nil {
 		return nil, fmt.Errorf("core: TCL training failed: %w", err)
 	}
-	finalProba := cv.PredictProba(xt)
+	finalProba := ml.ParallelProba(cv, xt, cfg.Workers)
 	res.Labels = ml.Labels(finalProba, 0.5)
 	res.Proba = finalProba
 	res.Stats.TclTime = time.Since(tclStart)

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// renderAt renders one experiment with a fixed worker count.
+func renderAt(t *testing.T, name string, opts Options, workers int) string {
+	t.Helper()
+	opts.Workers = workers
+	var buf bytes.Buffer
+	if err := RenderExperiment(&buf, name, opts); err != nil {
+		t.Fatalf("%s (workers=%d): %v", name, workers, err)
+	}
+	return buf.String()
+}
+
+// firstDiff reports the first differing line of two renderings.
+func firstDiff(t *testing.T, label, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	al := bytes.Split([]byte(a), []byte("\n"))
+	bl := bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s: line %d differs:\n  %q\n  %q", label, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s: outputs differ in length (%d vs %d lines)", label, len(al), len(bl))
+}
+
+// TestRenderIdenticalAcrossWorkerCounts is the experiment-harness
+// determinism guarantee of this package: rendered output is a pure
+// function of (experiment, scale, seed) — the worker count and the
+// scheduler's thread budget must never leak into it.
+func TestRenderIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, name := range []string{"table1", "figure2", "figure5"} {
+		serial := renderAt(t, name, tiny(), 1)
+		firstDiff(t, name+": workers=1 vs 8", serial, renderAt(t, name, tiny(), 8))
+
+		old := runtime.GOMAXPROCS(1)
+		oversub := renderAt(t, name, tiny(), 8)
+		runtime.GOMAXPROCS(old)
+		firstDiff(t, name+": workers=8 under GOMAXPROCS=1", serial, oversub)
+	}
+}
+
+// TestTable2QualityIdenticalAcrossWorkers pins the (task, method)
+// fan-out of the method comparison grid: every quality cell must land
+// in the same slot with the same value regardless of scheduling. Only
+// the runtime columns (wall clock) may vary, so the quality table
+// alone is compared.
+func TestTable2QualityIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("method grid too slow for -short")
+	}
+	quality := func(workers int) string {
+		opts := tiny()
+		opts.Workers = workers
+		res, err := Table2(opts)
+		if err != nil {
+			t.Fatalf("Table2(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		res.QualityTable().Render(&buf)
+		return buf.String()
+	}
+	serial := quality(1)
+	firstDiff(t, "table2 quality: workers=1 vs 8", serial, quality(8))
+}
+
+// TestSweepsIdenticalAcrossWorkers pins the flattened sweep grids
+// (figure 6's label fractions): per-cell seeds derived from (Seed,
+// fraction) rather than shared RNG state keep the rows bitwise stable.
+func TestSweepsIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid too slow for -short")
+	}
+	render := func(workers int) string {
+		opts := tiny()
+		opts.Workers = workers
+		rows, err := Figure6(opts)
+		if err != nil {
+			t.Fatalf("Figure6(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		SweepTable("fig6", rows).Render(&buf)
+		return buf.String()
+	}
+	serial := render(1)
+	firstDiff(t, "figure6: workers=1 vs 8", serial, render(8))
+}

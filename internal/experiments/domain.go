@@ -18,9 +18,10 @@ type builtDomain struct {
 
 // buildDomain blocks and compares a generated domain pair with its
 // recommended blocking configuration and the default comparison
-// scheme.
-func buildDomain(p datagen.DomainPair) builtDomain {
+// scheme, building the feature matrix on up to `workers` goroutines.
+func buildDomain(p datagen.DomainPair, workers int) builtDomain {
 	scheme := compare.DefaultScheme(p.A.Schema)
+	scheme.Workers = workers
 	pairs := blocking.CandidatePairs(p.A, p.B, p.Blocking)
 	return builtDomain{
 		name:  p.Name,

@@ -38,6 +38,14 @@ type Options struct {
 	// SkipSlow drops the slowest baselines (DTAL*) from large tasks,
 	// mirroring the paper's 'TE' entries without burning hours.
 	SkipSlow bool
+	// Workers bounds the goroutines used for feature-matrix
+	// construction and for fanning out independent experiment grid
+	// cells; 0 means one per CPU, 1 forces serial execution. Every
+	// deterministic output (all quality numbers, counts, and rendered
+	// tables except wall-clock columns) is byte-identical for every
+	// worker count: cells write to pre-sized index-addressed slots and
+	// all randomness is seeded per cell, never shared.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,9 +76,9 @@ type builtTask struct {
 }
 
 // buildTask assembles the transfer.Task for one generated task.
-func buildTask(t datagen.TransferTask) builtTask {
-	src := buildDomain(t.Source)
-	tgt := buildDomain(t.Target)
+func buildTask(t datagen.TransferTask, workers int) builtTask {
+	src := buildDomain(t.Source, workers)
+	tgt := buildDomain(t.Target, workers)
 	return builtTask{
 		name: t.Name(),
 		task: &transfer.Task{
@@ -184,10 +192,10 @@ func labelFractionTask(bt builtTask, frac float64, seed int64) builtTask {
 
 // BuildTaskForProbe exposes task assembly for internal diagnostics.
 func BuildTaskForProbe(t datagen.TransferTask) *transfer.Task {
-	return buildTask(t).task
+	return buildTask(t, 0).task
 }
 
 // TruthForProbe exposes target ground truth for internal diagnostics.
 func TruthForProbe(t datagen.TransferTask) []int {
-	return buildTask(t).truthT
+	return buildTask(t, 0).truthT
 }

@@ -100,6 +100,9 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestTable2AndRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-task method grid too slow for -short (see Makefile race target)")
+	}
 	res, err := Table2(tiny())
 	if err != nil {
 		t.Fatalf("Table2: %v", err)
@@ -133,6 +136,9 @@ func TestTable2AndRuntime(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("label-fraction sweep too slow for -short")
+	}
 	rows, err := Figure6(tiny())
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
@@ -152,6 +158,9 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep too slow for -short")
+	}
 	rows, err := Figure7(tiny())
 	if err != nil {
 		t.Fatalf("Figure7: %v", err)
@@ -176,6 +185,9 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation grid too slow for -short")
+	}
 	tbl, err := Table4(tiny())
 	if err != nil {
 		t.Fatalf("Table4: %v", err)
@@ -199,7 +211,7 @@ func TestTable4(t *testing.T) {
 func TestBuildTaskAlignment(t *testing.T) {
 	opts := tiny()
 	for _, task := range pairsForTest(opts.Scale) {
-		bt := buildTask(task)
+		bt := buildTask(task, opts.Workers)
 		if len(bt.task.XS) != len(bt.task.YS) {
 			t.Fatalf("%s: source rows/labels misaligned", bt.name)
 		}
@@ -217,7 +229,7 @@ func TestBuildTaskAlignment(t *testing.T) {
 
 func TestLabelFractionTask(t *testing.T) {
 	opts := tiny()
-	bt := buildTask(pairsForTest(opts.Scale)[0])
+	bt := buildTask(pairsForTest(opts.Scale)[0], opts.Workers)
 	sub := labelFractionTask(bt, 0.5, 1)
 	if len(sub.task.XS) >= len(bt.task.XS) {
 		t.Errorf("fraction did not shrink source: %d vs %d", len(sub.task.XS), len(bt.task.XS))

@@ -8,6 +8,7 @@ import (
 
 	"transer/internal/compare"
 	"transer/internal/datagen"
+	"transer/internal/parallel"
 )
 
 // Histogram is one similarity distribution series (Figure 2).
@@ -25,7 +26,7 @@ func Figure2(opts Options) ([]Histogram, error) {
 	opts = opts.withDefaults()
 	const bins = 20
 	build := func(p datagen.DomainPair) Histogram {
-		d := buildDomain(p)
+		d := buildDomain(p, opts.Workers)
 		means := compare.MeanSimilarity(d.x)
 		h := Histogram{Name: p.Name,
 			Edges:   make([]float64, bins+1),
@@ -49,10 +50,10 @@ func Figure2(opts Options) ([]Histogram, error) {
 		}
 		return h
 	}
-	return []Histogram{
-		build(datagen.MB(opts.Scale)),
-		build(datagen.DBLPACM(opts.Scale)),
-	}, nil
+	pairs := []datagen.DomainPair{datagen.MB(opts.Scale), datagen.DBLPACM(opts.Scale)}
+	return parallel.Map(opts.Workers, len(pairs), func(i int) Histogram {
+		return build(pairs[i])
+	}), nil
 }
 
 // RenderHistograms writes ASCII histograms.

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Names returns the experiment names RenderExperiment accepts, in the
+// order cmd/experiments runs them under -exp all.
+func Names() []string {
+	return []string{"table1", "figure2", "figure5", "table2", "figure6", "figure7", "table4"}
+}
+
+// HeadName returns the heading cmd/experiments prints for an
+// experiment ("table2" renders Tables 2 and 3 together).
+func HeadName(name string) string {
+	if name == "table2" {
+		return "table2+table3"
+	}
+	return name
+}
+
+// RenderExperiment regenerates one experiment and writes the exact
+// text cmd/experiments prints for it — header line plus rendered
+// tables/figures — excluding the trailing wall-clock line, which is
+// the only non-deterministic part of the command's output. The golden
+// tests diff this text against the checked-in *_output.txt files.
+func RenderExperiment(w io.Writer, name string, opts Options) error {
+	fmt.Fprintf(w, "== %s (scale %.2f) ==\n", HeadName(name), scaleOf(opts))
+	switch name {
+	case "table1":
+		t, err := Table1(opts)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+	case "figure2":
+		hs, err := Figure2(opts)
+		if err != nil {
+			return err
+		}
+		RenderHistograms(w, hs)
+	case "figure5":
+		RenderDecay(w, Figure5())
+	case "table2":
+		res, err := Table2(opts)
+		if err != nil {
+			return err
+		}
+		res.QualityTable().Render(w)
+		fmt.Fprintln(w)
+		res.RuntimeTable().Render(w)
+	case "figure6":
+		rows, err := Figure6(opts)
+		if err != nil {
+			return err
+		}
+		SweepTable("Figure 6: sensitivity to labelled source fraction", rows).Render(w)
+	case "figure7":
+		rows, err := Figure7(opts)
+		if err != nil {
+			return err
+		}
+		SweepTable("Figure 7: parameter sensitivity (t_c, t_l, t_p, k)", rows).Render(w)
+	case "table4":
+		t, err := Table4(opts)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	return nil
+}
+
+// scaleOf reports the scale an experiment will actually run at (the
+// header must show the defaulted value, as cmd/experiments always
+// passed an explicit one).
+func scaleOf(opts Options) float64 {
+	return opts.withDefaults().Scale
+}

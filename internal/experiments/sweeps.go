@@ -6,6 +6,7 @@ import (
 	"transer/internal/core"
 	"transer/internal/datagen"
 	"transer/internal/eval"
+	"transer/internal/parallel"
 )
 
 // SweepRow is one parameter/fraction setting's aggregated quality on
@@ -18,30 +19,56 @@ type SweepRow struct {
 }
 
 // Figure6 measures TransER's sensitivity to the labelled source
-// fraction (25%..100%) on the three representative tasks.
+// fraction (25%..100%) on the three representative tasks. The (task,
+// fraction) cells run concurrently; each subsets the source with a
+// seed derived from (Seed, fraction) rather than shared RNG state, so
+// the rows are identical for every worker count.
 func Figure6(opts Options) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	var out []SweepRow
-	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
-		bt := buildTask(task)
-		for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
-			sub := labelFractionTask(bt, frac, opts.Seed+int64(frac*100))
-			q, _, err := evaluateMethod(transERMethod(core.DefaultConfig()), sub, opts.Classifiers)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepRow{Task: bt.name, Setting: "label-fraction", Value: frac, Quality: q})
+	tasks := datagen.RepresentativeTasks(opts.Scale)
+	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
+		return buildTask(tasks[i], opts.Workers)
+	})
+	fracs := []float64{0.25, 0.5, 0.75, 1.0}
+	out := make([]SweepRow, len(built)*len(fracs))
+	errs := make([]error, len(out))
+	parallel.ForEach(opts.Workers, len(out), func(cell int) {
+		bt := built[cell/len(fracs)]
+		frac := fracs[cell%len(fracs)]
+		sub := labelFractionTask(bt, frac, opts.Seed+int64(frac*100))
+		cfg := core.DefaultConfig()
+		cfg.Workers = opts.Workers
+		q, _, err := evaluateMethod(transERMethod(cfg), sub, opts.Classifiers)
+		if err != nil {
+			errs[cell] = err
+			return
 		}
+		out[cell] = SweepRow{Task: bt.name, Setting: "label-fraction", Value: frac, Quality: q}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// firstError returns the lowest-indexed cell error, so failure
+// reporting is as deterministic as the results themselves.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Figure7 measures TransER's sensitivity to t_c, t_l, t_p and k on the
 // representative tasks, varying one parameter at a time around the
-// defaults (the paper's Section 5.3 protocol).
+// defaults (the paper's Section 5.3 protocol). The flattened (task,
+// parameter, value) grid fans out over opts.Workers goroutines with
+// one pre-assigned output slot per cell.
 func Figure7(opts Options) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	var out []SweepRow
 	type sweep struct {
 		name   string
 		values []float64
@@ -57,19 +84,41 @@ func Figure7(opts Options) ([]SweepRow, error) {
 		{"k", []float64{3, 5, 7, 9, 11},
 			func(cfg *core.Config, v float64) { cfg.K = int(v) }},
 	}
-	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
-		bt := buildTask(task)
-		for _, sw := range sweeps {
+	tasks := datagen.RepresentativeTasks(opts.Scale)
+	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
+		return buildTask(tasks[i], opts.Workers)
+	})
+	type cell struct {
+		task  int
+		sweep int
+		value float64
+	}
+	var cells []cell
+	for t := range built {
+		for s, sw := range sweeps {
 			for _, v := range sw.values {
-				cfg := core.DefaultConfig()
-				sw.apply(&cfg, v)
-				q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SweepRow{Task: bt.name, Setting: sw.name, Value: v, Quality: q})
+				cells = append(cells, cell{task: t, sweep: s, value: v})
 			}
 		}
+	}
+	out := make([]SweepRow, len(cells))
+	errs := make([]error, len(cells))
+	parallel.ForEach(opts.Workers, len(cells), func(i int) {
+		c := cells[i]
+		bt := built[c.task]
+		sw := sweeps[c.sweep]
+		cfg := core.DefaultConfig()
+		cfg.Workers = opts.Workers
+		sw.apply(&cfg, c.value)
+		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = SweepRow{Task: bt.name, Setting: sw.name, Value: c.value, Quality: q}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -96,20 +145,33 @@ func Table4(opts Options) (*Table, error) {
 	for _, v := range variants {
 		t.Header = append(t.Header, v.name)
 	}
-	for _, task := range datagen.RepresentativeTasks(opts.Scale) {
-		bt := buildTask(task)
-		cells := map[string]eval.MetricsAggregate{}
-		for _, v := range variants {
-			q, _, err := evaluateMethod(transERMethod(v.cfg), bt, opts.Classifiers)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %q on %s: %w", v.name, bt.name, err)
-			}
-			cells[v.name] = q
+	tasks := datagen.RepresentativeTasks(opts.Scale)
+	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
+		return buildTask(tasks[i], opts.Workers)
+	})
+	// One (task, variant) quality aggregate per grid cell.
+	quality := make([]eval.MetricsAggregate, len(built)*len(variants))
+	errs := make([]error, len(quality))
+	parallel.ForEach(opts.Workers, len(quality), func(cell int) {
+		bt := built[cell/len(variants)]
+		v := variants[cell%len(variants)]
+		cfg := v.cfg
+		cfg.Workers = opts.Workers
+		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
+		if err != nil {
+			errs[cell] = fmt.Errorf("ablation %q on %s: %w", v.name, bt.name, err)
+			return
 		}
+		quality[cell] = q
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	for ti, bt := range built {
 		add := func(meas string, get func(eval.MetricsAggregate) eval.Aggregate) {
 			row := []string{bt.name, meas}
-			for _, v := range variants {
-				row = append(row, agg(get(cells[v.name])))
+			for vi := range variants {
+				row = append(row, agg(get(quality[ti*len(variants)+vi])))
 			}
 			t.Rows = append(t.Rows, row)
 		}

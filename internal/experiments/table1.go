@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"transer/internal/datagen"
+	"transer/internal/parallel"
 )
 
 // Table1 reproduces the paper's Table 1: per-domain feature vector
@@ -81,9 +82,12 @@ func Table1(opts Options) (*Table, error) {
 		{datagen.IOSBpDp(opts.Scale), datagen.KILBpDp(opts.Scale)},
 		{datagen.IOSBpBp(opts.Scale), datagen.KILBpBp(opts.Scale)},
 	}
-	for _, p := range pairings {
-		da := buildDomain(p.a)
-		db := buildDomain(p.b)
+	// Each pairing's statistics are independent; compute them into
+	// per-index slots so the row order never depends on scheduling.
+	t.Rows = parallel.Map(opts.Workers, len(pairings), func(i int) []string {
+		p := pairings[i]
+		da := buildDomain(p.a, opts.Workers)
+		db := buildDomain(p.b, opts.Workers)
 		sa := analyse(da)
 		sb := analyse(db)
 		// Common distinct vectors and their cross-domain agreement.
@@ -109,12 +113,12 @@ func Table1(opts Options) (*Table, error) {
 			}
 			return pct(float64(n) / float64(common))
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", da.m),
 			sa.name, fmt.Sprintf("%d", sa.rows), pct(sa.m), pct(sa.n), pct(sa.a),
 			sb.name, fmt.Sprintf("%d", sb.rows), pct(sb.m), pct(sb.n), pct(sb.a),
 			fmt.Sprintf("%d", common), frac(same), frac(diff), frac(ambig),
-		})
-	}
+		}
+	})
 	return t, nil
 }

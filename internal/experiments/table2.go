@@ -8,6 +8,7 @@ import (
 
 	"transer/internal/datagen"
 	"transer/internal/eval"
+	"transer/internal/parallel"
 	"transer/internal/transfer"
 )
 
@@ -66,31 +67,47 @@ func demographicTask(name string) bool {
 // Table2 runs every method on every source→target task of the paper's
 // Table 2 and aggregates quality over the standard classifiers;
 // runtimes feed Table 3.
+//
+// The (task, method) cells are independent, so they fan out over
+// opts.Workers goroutines; each cell writes to its pre-assigned row
+// slot, keeping the row order and every quality number identical to a
+// serial run. Only the Table 3 wall-clock column varies, as it always
+// has. Methods carry no mutable state (Run reads the shared task and
+// seeds its own randomness from the method's fixed Seed), so sharing
+// a builtTask across cells is safe.
 func Table2(opts Options) (*Table2Result, error) {
 	opts = opts.withDefaults()
-	res := &Table2Result{Sizes: map[string][2]int{}}
-	for _, task := range datagen.PaperTasks(opts.Scale) {
-		bt := buildTask(task)
-		res.Sizes[bt.name] = [2]int{len(bt.task.XS), len(bt.task.XT)}
-		for _, m := range methods(opts.Seed, opts.SkipSlow) {
-			cls := opts.Classifiers
-			if singleRun(m) {
-				if demographicTask(bt.name) {
-					// The paper's DTAL* exceeded the 72 h budget on the
-					// demographic tasks; mirror its 'TE' entries rather
-					// than spending hours on an expected non-result.
-					res.Rows = append(res.Rows, MethodRow{
-						Task: bt.name, Method: m.Name(), Err: ErrResourceLimit})
-					continue
-				}
-				cls = cls[:1]
-			}
-			q, rt, err := evaluateMethod(m, bt, cls)
-			row := MethodRow{Task: bt.name, Method: m.Name(), Quality: q,
-				Runtime: rt / time.Duration(len(cls)), Err: err}
-			res.Rows = append(res.Rows, row)
-		}
+	tasks := datagen.PaperTasks(opts.Scale)
+	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
+		return buildTask(tasks[i], opts.Workers)
+	})
+	ms := methods(opts.Seed, opts.SkipSlow)
+	res := &Table2Result{
+		Rows:  make([]MethodRow, len(built)*len(ms)),
+		Sizes: map[string][2]int{},
 	}
+	for _, bt := range built {
+		res.Sizes[bt.name] = [2]int{len(bt.task.XS), len(bt.task.XT)}
+	}
+	parallel.ForEach(opts.Workers, len(res.Rows), func(cell int) {
+		bt := built[cell/len(ms)]
+		m := ms[cell%len(ms)]
+		cls := opts.Classifiers
+		if singleRun(m) {
+			if demographicTask(bt.name) {
+				// The paper's DTAL* exceeded the 72 h budget on the
+				// demographic tasks; mirror its 'TE' entries rather
+				// than spending hours on an expected non-result.
+				res.Rows[cell] = MethodRow{
+					Task: bt.name, Method: m.Name(), Err: ErrResourceLimit}
+				return
+			}
+			cls = cls[:1]
+		}
+		q, rt, err := evaluateMethod(m, bt, cls)
+		res.Rows[cell] = MethodRow{Task: bt.name, Method: m.Name(), Quality: q,
+			Runtime: rt / time.Duration(len(cls)), Err: err}
+	})
 	return res, nil
 }
 

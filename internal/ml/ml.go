@@ -13,6 +13,8 @@ package ml
 import (
 	"errors"
 	"fmt"
+
+	"transer/internal/parallel"
 )
 
 // Classifier is a binary probabilistic classifier.
@@ -20,7 +22,10 @@ type Classifier interface {
 	// Fit trains on the feature matrix x with labels y in {0, 1}.
 	Fit(x [][]float64, y []int) error
 	// PredictProba returns P(label = 1 | row) for each row of x. It
-	// must only be called after a successful Fit.
+	// must only be called after a successful Fit. Implementations must
+	// compute rows independently and must not mutate the classifier,
+	// so that disjoint row chunks can be predicted concurrently (see
+	// ParallelProba).
 	PredictProba(x [][]float64) []float64
 }
 
@@ -109,6 +114,27 @@ func (c *Constant) PredictProba(x [][]float64) []float64 {
 	for i := range out {
 		out[i] = c.P
 	}
+	return out
+}
+
+// parallelProbaMinRows is the batch size below which chunked
+// prediction is not worth the goroutine dispatch.
+const parallelProbaMinRows = 512
+
+// ParallelProba evaluates c.PredictProba over contiguous row chunks of
+// x on at most workers goroutines (0 means GOMAXPROCS) and stitches
+// the chunk outputs back together by index. Because PredictProba
+// computes rows independently (the interface contract), the result is
+// bitwise identical to a single serial call for every worker count.
+func ParallelProba(c Classifier, x [][]float64, workers int) []float64 {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(x) < parallelProbaMinRows {
+		return c.PredictProba(x)
+	}
+	out := make([]float64, len(x))
+	parallel.ForEachChunk(w, len(x), func(lo, hi int) {
+		copy(out[lo:hi], c.PredictProba(x[lo:hi]))
+	})
 	return out
 }
 

@@ -117,8 +117,8 @@ func (d *DANN) PredictProba(x [][]float64) []float64 {
 			out[i] = 0.5
 			continue
 		}
-		h := d.encoder.forward(row)
-		out[i] = sigmoid(d.label.forward(h)[0])
+		h := d.encoder.apply(row)
+		out[i] = sigmoid(d.label.apply(h)[0])
 	}
 	return out
 }
@@ -132,8 +132,8 @@ func (d *DANN) DomainProba(x [][]float64) []float64 {
 			out[i] = 0.5
 			continue
 		}
-		h := d.encoder.forward(row)
-		out[i] = sigmoid(d.domain.forward(h)[0])
+		h := d.encoder.apply(row)
+		out[i] = sigmoid(d.domain.apply(h)[0])
 	}
 	return out
 }

@@ -82,7 +82,7 @@ func (m *MLP) PredictProba(x [][]float64) []float64 {
 			out[i] = 0.5
 			continue
 		}
-		out[i] = sigmoid(m.layers.forward(row)[0])
+		out[i] = sigmoid(m.layers.apply(row)[0])
 	}
 	return out
 }

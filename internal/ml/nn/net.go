@@ -58,6 +58,25 @@ func (d *dense) forward(x []float64) []float64 {
 	return out
 }
 
+// apply computes the layer output without caching backprop state.
+// forward is for training only; inference must go through apply so
+// that PredictProba stays pure and safe for concurrent row chunks.
+func (d *dense) apply(x []float64) []float64 {
+	out := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		z := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for j, v := range x {
+			z += row[j] * v
+		}
+		if d.relu && z < 0 {
+			z = 0
+		}
+		out[o] = z
+	}
+	return out
+}
+
 // backward consumes dLoss/dOut, applies an SGD step with the given
 // learning rate, and returns dLoss/dIn.
 func (d *dense) backward(gradOut []float64, lr float64) []float64 {
@@ -116,6 +135,13 @@ type stack []*dense
 func (s stack) forward(x []float64) []float64 {
 	for _, l := range s {
 		x = l.forward(x)
+	}
+	return x
+}
+
+func (s stack) apply(x []float64) []float64 {
+	for _, l := range s {
+		x = l.apply(x)
 	}
 	return x
 }

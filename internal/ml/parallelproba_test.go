@@ -1,0 +1,75 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// rowClassifier is a pure row-wise classifier stub: probability is a
+// fixed function of the row's first feature.
+type rowClassifier struct{}
+
+func (rowClassifier) Fit(x [][]float64, y []int) error { return nil }
+
+func (rowClassifier) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = 1 / (1 + math.Exp(-row[0]))
+	}
+	return out
+}
+
+func (rowClassifier) Name() string { return "row-stub" }
+
+func probaInput(n int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{float64(i%17)/17 - 0.5, float64(i % 3)}
+	}
+	return x
+}
+
+// TestParallelProbaMatchesSerial: the chunked path must return the
+// exact bits the plain call returns, for any worker count, including
+// worker counts far above the row count.
+func TestParallelProbaMatchesSerial(t *testing.T) {
+	c := rowClassifier{}
+	for _, n := range []int{0, 1, parallelProbaMinRows - 1, parallelProbaMinRows, 2000} {
+		x := probaInput(n)
+		want := c.PredictProba(x)
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			got := ParallelProba(c, x, w)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: got %d rows, want %d", n, w, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d workers=%d: row %d = %v, want %v", n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelProbaSmallInputStaysSerial: below the row threshold the
+// classifier must receive the whole matrix in one call (no chunking
+// overhead for small batches).
+func TestParallelProbaSmallInputStaysSerial(t *testing.T) {
+	calls := 0
+	c := countingClassifier{calls: &calls}
+	ParallelProba(c, probaInput(parallelProbaMinRows-1), 8)
+	if calls != 1 {
+		t.Errorf("small input split into %d calls, want 1", calls)
+	}
+}
+
+type countingClassifier struct{ calls *int }
+
+func (countingClassifier) Fit(x [][]float64, y []int) error { return nil }
+
+func (c countingClassifier) PredictProba(x [][]float64) []float64 {
+	*c.calls++
+	return make([]float64, len(x))
+}
+
+func (countingClassifier) Name() string { return "counting-stub" }

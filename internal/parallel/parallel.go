@@ -1,0 +1,131 @@
+// Package parallel is the shared bounded worker pool used by the
+// pipeline's hot paths: comparison-vector construction, the SEL phase,
+// classifier batch prediction, and the experiment grids.
+//
+// Every helper takes an explicit worker count (0 means
+// runtime.GOMAXPROCS(0)) and distributes an index range [0, n) over at
+// most that many goroutines. Determinism is by construction: callers
+// write results into index-addressed slots, so the output is bitwise
+// identical regardless of the worker count or the order in which
+// workers drain the range. Panics inside worker functions are captured
+// and re-raised in the calling goroutine as a *Panic carrying the
+// original value and the worker's stack trace.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n > 0 is returned as-is,
+// anything else means "one worker per available CPU"
+// (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Panic is raised in the caller when a worker function panics. Value
+// is the worker's original panic value; Stack is the worker
+// goroutine's stack at the time of the panic (the re-raise otherwise
+// loses it).
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error so recovered values can be wrapped directly.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n) from at
+// most workers goroutines. Indices are handed out dynamically, so
+// heterogeneous per-index costs (e.g. experiment grid cells) balance
+// across workers. With workers <= 1 (or n <= 1) it degenerates to a
+// plain serial loop on the calling goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		once sync.Once
+		pc   *Panic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { pc = &Panic{Value: r, Stack: debug.Stack()} })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pc != nil {
+		panic(pc)
+	}
+}
+
+// ForEachChunk partitions [0, n) into at most workers contiguous
+// chunks and invokes fn(lo, hi) for each. Chunking suits uniform
+// per-index costs (rows of a feature matrix) where a tight local loop
+// beats per-index dispatch.
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	ForEach(workers, nChunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Map returns out of length n with out[i] = fn(i), computed on at most
+// workers goroutines.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForEachCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 0} {
+		for _, n := range []int{0, 1, 5, 97, 1024} {
+			counts := make([]int32, n)
+			ForEachChunk(workers, n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 500
+	fn := func(i int) int { return i*i + 3 }
+	want := Map(1, n, fn)
+	for _, workers := range []int{2, 4, 16, 0} {
+		got := Map(workers, n, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				p, ok := r.(*Panic)
+				if workers <= 1 {
+					// The serial path runs fn on the caller's goroutine, so
+					// the original panic value surfaces untouched.
+					if r != "boom" {
+						t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+					}
+					return
+				}
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *Panic", workers, r)
+				}
+				if p.Value != "boom" {
+					t.Errorf("workers=%d: panic value %v, want boom", workers, p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Errorf("workers=%d: panic lost the worker stack", workers)
+				}
+				if p.Error() == "" {
+					t.Errorf("empty Error()")
+				}
+			}()
+			ForEach(workers, 100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachWorkersExceedingRange(t *testing.T) {
+	// More workers than indices must not deadlock or skip work.
+	var total atomic.Int64
+	ForEach(64, 3, func(i int) { total.Add(int64(i) + 1) })
+	if total.Load() != 6 {
+		t.Errorf("total = %d, want 6", total.Load())
+	}
+}
