@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check golden bench experiments
+.PHONY: build test test-short vet race check golden bench experiments
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 # regenerate Table 1, Figure 2 and Figure 5 at full scale).
 test:
 	$(GO) test ./...
+
+# Quick suite: skips the slow experiment grids (the CI entry point
+# together with race).
+test-short:
+	$(GO) test -short ./...
 
 # Race-detector pass over everything that finishes quickly; the slow
 # experiment grids are excluded via testing.Short so this stays within

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"transer/internal/experiments"
+	"transer/internal/pipeline"
 )
 
 // benchScale keeps benchmark iterations affordable while exercising
@@ -144,6 +145,39 @@ func BenchmarkTable1Workers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkExperimentsColdVsWarm quantifies the artifact store's
+// rebuild savings on the construction-dominated experiments (Table 1
+// plus Figure 2, which share all their domains): "cold" gives every
+// iteration a fresh store, so each rebuilds all artifacts from
+// scratch; "warm" shares one pre-populated store, so every iteration
+// is served from cache. The rendered output is byte-identical either
+// way; EXPERIMENTS.md records the measured gap.
+func BenchmarkExperimentsColdVsWarm(b *testing.B) {
+	iteration := func(b *testing.B, st *pipeline.Store) {
+		opts := benchOpts()
+		opts.Store = st
+		if _, err := experiments.Table1(opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure2(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			iteration(b, pipeline.NewStore())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st := pipeline.NewStore()
+		iteration(b, st) // populate outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			iteration(b, st)
+		}
+	})
 }
 
 // BenchmarkTable2Workers exercises the (task, method) cell fan-out of

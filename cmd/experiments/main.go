@@ -8,12 +8,20 @@
 //	experiments -exp table2 -scale 0.5    # one experiment at a scale
 //	experiments -exp table2 -skip-slow    # drop DTAL* (hours -> minutes)
 //	experiments -exp table2 -workers 4    # bound the worker pool
+//	experiments -exp all -cache-stats     # report artifact store use
 //
 // Experiments: table1, figure2, figure5, table2 (includes table3),
 // figure6, figure7, table4, all.
 //
+// All experiments share one memoized artifact store, so each distinct
+// domain is generated, blocked and compared exactly once per run no
+// matter how many tables and figures use it; -cache-stats reports the
+// hits, misses and memoized bytes after the run.
+//
 // All output except the wall-clock lines and the Table 3 runtime
-// column is byte-identical for every -workers value (including 1).
+// column is byte-identical for every -workers value (including 1),
+// and identical whether artifacts come fresh from a build or from the
+// store.
 package main
 
 import (
@@ -23,18 +31,24 @@ import (
 	"time"
 
 	"transer/internal/experiments"
+	"transer/internal/pipeline"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1|figure2|figure5|table2|figure6|figure7|table4|all")
-		scale    = flag.Float64("scale", 0.5, "data set size scale factor")
-		seed     = flag.Int64("seed", 1, "random seed")
-		skipSlow = flag.Bool("skip-slow", false, "skip the slowest baseline (DTAL*)")
-		workers  = flag.Int("workers", 0, "max worker goroutines (0 = one per CPU, 1 = serial)")
+		exp        = flag.String("exp", "all", "experiment to run: table1|figure2|figure5|table2|figure6|figure7|table4|all")
+		scale      = flag.Float64("scale", 0.5, "data set size scale factor")
+		seed       = flag.Int64("seed", 1, "random seed")
+		skipSlow   = flag.Bool("skip-slow", false, "skip the slowest baseline (DTAL*)")
+		workers    = flag.Int("workers", 0, "max worker goroutines (0 = one per CPU, 1 = serial)")
+		cacheStats = flag.Bool("cache-stats", false, "report artifact store hits/misses/bytes after the run")
 	)
 	flag.Parse()
-	opts := experiments.Options{Scale: *scale, Seed: *seed, SkipSlow: *skipSlow, Workers: *workers}
+	// One artifact store for the whole run: every experiment sharing it
+	// builds each distinct domain exactly once, however many tables and
+	// figures request it.
+	store := pipeline.NewStore()
+	opts := experiments.Options{Scale: *scale, Seed: *seed, SkipSlow: *skipSlow, Workers: *workers, Store: store}
 
 	ran := false
 	for _, name := range experiments.Names() {
@@ -52,5 +66,10 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)
+	}
+	if *cacheStats {
+		st := store.Stats()
+		fmt.Printf("cache-stats: %d hits, %d misses, %d bytes memoized\n",
+			st.Hits, st.Misses, st.Bytes)
 	}
 }

@@ -39,6 +39,17 @@ var (
 	KILBpBp = datagen.KILBpBp
 )
 
+// DatasetKeys returns the stable identities of the built-in data set
+// stand-ins in Table 1 order — the keys DomainStore.Domain accepts.
+func DatasetKeys() []string {
+	builtins := datagen.Builtins()
+	out := make([]string, len(builtins))
+	for i, b := range builtins {
+		out[i] = b.Key
+	}
+	return out
+}
+
 // PaperTasks returns the eight source→target pairs of the paper's
 // Table 2 at the given scale.
 func PaperTasks(scale float64) []TransferTask { return datagen.PaperTasks(scale) }

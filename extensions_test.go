@@ -154,3 +154,47 @@ func TestOneToOneMatchesPublicAPI(t *testing.T) {
 		t.Errorf("kept %d pairs out of %d predicted", len(pairs), predicted)
 	}
 }
+
+func TestDomainStorePublicAPI(t *testing.T) {
+	st := NewDomainStore()
+	first, err := st.Domain("DBLP-ACM", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Labelled() || first.NumPairs() == 0 {
+		t.Fatalf("store returned an unusable domain: %d pairs, labelled=%v",
+			first.NumPairs(), first.Labelled())
+	}
+	second, err := st.Domain("DBLP-ACM", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first.X[0][0] != &second.X[0][0] {
+		t.Errorf("second request rebuilt the feature matrix instead of hitting the cache")
+	}
+	stats := st.Stats()
+	if stats.Misses == 0 || stats.Hits == 0 {
+		t.Errorf("stats = %+v, want both misses (cold) and hits (warm)", stats)
+	}
+
+	// The memoized domains drive the ordinary Transfer flow.
+	tgt, err := st.Domain("DBLP-Scholar", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transfer(first, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != tgt.NumPairs() {
+		t.Fatalf("prediction misaligned with target pairs")
+	}
+
+	if _, err := st.Domain("no-such-dataset", 0.04); err == nil {
+		t.Errorf("unknown dataset key must error")
+	}
+	keys := DatasetKeys()
+	if len(keys) != 8 || keys[0] != "DBLP-ACM" {
+		t.Errorf("DatasetKeys() = %v", keys)
+	}
+}

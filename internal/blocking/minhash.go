@@ -39,6 +39,13 @@ type MinHashConfig struct {
 	MaxBucketSize int
 }
 
+// Normalized returns the config with every defaulted field resolved
+// to its effective value. Two configs that block identically normalise
+// to the same value, which is what cache fingerprints must hash (the
+// zero config and an explicitly spelled-out default are the same
+// blocking computation).
+func (c MinHashConfig) Normalized() MinHashConfig { return c.withDefaults() }
+
 func (c MinHashConfig) withDefaults() MinHashConfig {
 	if c.NumHashes == 0 {
 		c.NumHashes = 60

@@ -163,6 +163,41 @@ var (
 	musicBlocking = blocking.MinHashConfig{Attrs: []int{0, 2}}
 )
 
+// Builtin describes one built-in data set stand-in: its stable
+// identity (the DomainPair.Name its generator produces), the fixed
+// generator seed baked into its Spec, and the generator itself. The
+// key and seed together are the dataset-identity component of the
+// pipeline package's artifact fingerprints.
+type Builtin struct {
+	Key  string
+	Seed int64
+	Make func(scale float64) DomainPair
+}
+
+// Builtins returns the seven data set stand-ins in Table 1 order.
+func Builtins() []Builtin {
+	return []Builtin{
+		{"DBLP-ACM", 101, DBLPACM},
+		{"DBLP-Scholar", 202, DBLPScholar},
+		{"MSD", 303, MSD},
+		{"MB", 404, MB},
+		{"IOS-Bp-Dp", 505, IOSBpDp},
+		{"KIL-Bp-Dp", 606, KILBpDp},
+		{"IOS-Bp-Bp", 707, IOSBpBp},
+		{"KIL-Bp-Bp", 808, KILBpBp},
+	}
+}
+
+// BuiltinByKey looks a built-in dataset up by its key.
+func BuiltinByKey(key string) (Builtin, bool) {
+	for _, b := range Builtins() {
+		if b.Key == key {
+			return b, true
+		}
+	}
+	return Builtin{}, false
+}
+
 // TransferTask is one source→target row of the paper's Tables 2 and 3.
 type TransferTask struct {
 	Source, Target DomainPair
@@ -171,35 +206,65 @@ type TransferTask struct {
 // Name formats the task as "source → target".
 func (t TransferTask) Name() string { return t.Source.Name + " -> " + t.Target.Name }
 
+// PaperTaskKeys returns the eight source→target dataset key pairs of
+// the paper's Table 2. This is the single definition of the task
+// grid; PaperTasks and the pipeline package's task refs derive from
+// it.
+func PaperTaskKeys() [][2]string {
+	return [][2]string{
+		{"DBLP-ACM", "DBLP-Scholar"},
+		{"DBLP-Scholar", "DBLP-ACM"},
+		{"MSD", "MB"},
+		{"MB", "MSD"},
+		{"IOS-Bp-Dp", "KIL-Bp-Dp"},
+		{"KIL-Bp-Dp", "IOS-Bp-Dp"},
+		{"IOS-Bp-Bp", "KIL-Bp-Bp"},
+		{"KIL-Bp-Bp", "IOS-Bp-Bp"},
+	}
+}
+
+// RepresentativeTaskKeys returns the three source→target dataset key
+// pairs used in the paper's Sections 5.2.3-5.4 (one bibliographic,
+// one music, one demographic).
+func RepresentativeTaskKeys() [][2]string {
+	return [][2]string{
+		{"DBLP-ACM", "DBLP-Scholar"},
+		{"MB", "MSD"},
+		{"KIL-Bp-Dp", "IOS-Bp-Dp"},
+	}
+}
+
+// tasksFromKeys generates each distinct dataset once and assembles the
+// keyed task list.
+func tasksFromKeys(keys [][2]string, scale float64) []TransferTask {
+	pairs := map[string]DomainPair{}
+	domain := func(key string) DomainPair {
+		if p, ok := pairs[key]; ok {
+			return p
+		}
+		b, ok := BuiltinByKey(key)
+		if !ok {
+			panic("datagen: unknown built-in dataset " + key)
+		}
+		p := b.Make(scale)
+		pairs[key] = p
+		return p
+	}
+	out := make([]TransferTask, len(keys))
+	for i, k := range keys {
+		out[i] = TransferTask{Source: domain(k[0]), Target: domain(k[1])}
+	}
+	return out
+}
+
 // PaperTasks returns the eight source→target pairs evaluated in the
 // paper's Table 2, at the given size scale.
 func PaperTasks(scale float64) []TransferTask {
-	dblpacm := DBLPACM(scale)
-	dblpscholar := DBLPScholar(scale)
-	msd := MSD(scale)
-	mb := MB(scale)
-	iosBpDp := IOSBpDp(scale)
-	kilBpDp := KILBpDp(scale)
-	iosBpBp := IOSBpBp(scale)
-	kilBpBp := KILBpBp(scale)
-	return []TransferTask{
-		{Source: dblpacm, Target: dblpscholar},
-		{Source: dblpscholar, Target: dblpacm},
-		{Source: msd, Target: mb},
-		{Source: mb, Target: msd},
-		{Source: iosBpDp, Target: kilBpDp},
-		{Source: kilBpDp, Target: iosBpDp},
-		{Source: iosBpBp, Target: kilBpBp},
-		{Source: kilBpBp, Target: iosBpBp},
-	}
+	return tasksFromKeys(PaperTaskKeys(), scale)
 }
 
 // RepresentativeTasks returns the three pairs used in the paper's
 // Sections 5.2.3-5.4 (one bibliographic, one music, one demographic).
 func RepresentativeTasks(scale float64) []TransferTask {
-	return []TransferTask{
-		{Source: DBLPACM(scale), Target: DBLPScholar(scale)},
-		{Source: MB(scale), Target: MSD(scale)},
-		{Source: KILBpDp(scale), Target: IOSBpDp(scale)},
-	}
+	return tasksFromKeys(RepresentativeTaskKeys(), scale)
 }

@@ -1,33 +1,16 @@
 package experiments
 
 import (
-	"transer/internal/blocking"
-	"transer/internal/compare"
-	"transer/internal/datagen"
-	"transer/internal/dataset"
+	"transer/internal/pipeline"
 )
 
-// builtDomain is one blocked+compared domain with ground-truth labels.
-type builtDomain struct {
-	name  string
-	pairs []dataset.Pair
-	x     [][]float64
-	y     []int
-	m     int
-}
-
-// buildDomain blocks and compares a generated domain pair with its
-// recommended blocking configuration and the default comparison
-// scheme, building the feature matrix on up to `workers` goroutines.
-func buildDomain(p datagen.DomainPair, workers int) builtDomain {
-	scheme := compare.DefaultScheme(p.A.Schema)
-	scheme.Workers = workers
-	pairs := blocking.CandidatePairs(p.A, p.B, p.Blocking)
-	return builtDomain{
-		name:  p.Name,
-		pairs: pairs,
-		x:     scheme.Matrix(p.A, p.B, pairs),
-		y:     dataset.LabelPairs(pairs, p.Truth()),
-		m:     scheme.NumFeatures(),
-	}
+// buildDomain fetches one built-in dataset's blocked+compared+labelled
+// domain through the artifact store; concurrent cells requesting the
+// same dataset share a single build.
+func buildDomain(st *pipeline.Store, key string, opts Options) *pipeline.Domain {
+	return st.Domain(pipeline.Request{
+		Dataset: pipeline.MustDataset(key),
+		Scale:   opts.Scale,
+		Workers: opts.Workers,
+	})
 }

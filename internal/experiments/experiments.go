@@ -20,6 +20,7 @@ import (
 	"transer/internal/ml/logreg"
 	"transer/internal/ml/svm"
 	"transer/internal/ml/tree"
+	"transer/internal/pipeline"
 	"transer/internal/sampling"
 	"transer/internal/transfer"
 )
@@ -46,6 +47,21 @@ type Options struct {
 	// worker count: cells write to pre-sized index-addressed slots and
 	// all randomness is seeded per cell, never shared.
 	Workers int
+	// Store memoizes domain-construction artifacts (generated data,
+	// candidate pairs, feature matrices, labels). Sharing one store
+	// across experiments builds each distinct domain exactly once for
+	// the whole run; nil gives each experiment call its own store.
+	// Cached artifacts are byte-identical to rebuilt ones, so results
+	// never depend on the store's temperature or hit order.
+	Store *pipeline.Store
+}
+
+// store resolves the artifact store an experiment call uses.
+func (o Options) store() *pipeline.Store {
+	if o.Store != nil {
+		return o.Store
+	}
+	return pipeline.NewStore()
 }
 
 func (o Options) withDefaults() Options {
@@ -75,19 +91,27 @@ type builtTask struct {
 	truthT []int
 }
 
-// buildTask assembles the transfer.Task for one generated task.
-func buildTask(t datagen.TransferTask, workers int) builtTask {
-	src := buildDomain(t.Source, workers)
-	tgt := buildDomain(t.Target, workers)
+// buildTask assembles the transfer.Task for one task ref, fetching
+// both domains through the artifact store. Source and target domains
+// are shared, read-only artifacts: the same dataset may back several
+// tasks (and both roles) without being rebuilt.
+func buildTask(st *pipeline.Store, ref pipeline.TaskRef, opts Options) builtTask {
+	src := buildDomain(st, ref.Source, opts)
+	tgt := buildDomain(st, ref.Target, opts)
+	return taskOf(ref.Name(), src, tgt)
+}
+
+// taskOf wires two built domains into a transfer task.
+func taskOf(name string, src, tgt *pipeline.Domain) builtTask {
 	return builtTask{
-		name: t.Name(),
+		name: name,
 		task: &transfer.Task{
-			XS: src.x, YS: src.y, XT: tgt.x,
-			SourceA: t.Source.A, SourceB: t.Source.B,
-			TargetA: t.Target.A, TargetB: t.Target.B,
-			SourcePairs: src.pairs, TargetPairs: tgt.pairs,
+			XS: src.X, YS: src.Y, XT: tgt.X,
+			SourceA: src.A, SourceB: src.B,
+			TargetA: tgt.A, TargetB: tgt.B,
+			SourcePairs: src.Pairs, TargetPairs: tgt.Pairs,
 		},
-		truthT: tgt.y,
+		truthT: tgt.Y,
 	}
 }
 
@@ -190,12 +214,20 @@ func labelFractionTask(bt builtTask, frac float64, seed int64) builtTask {
 	return out
 }
 
+// buildGeneratedTask assembles the transfer.Task for an already
+// generated task (no memoization — the path for caller-supplied data).
+func buildGeneratedTask(t datagen.TransferTask, workers int) builtTask {
+	src := pipeline.BuildPair(t.Source, workers)
+	tgt := pipeline.BuildPair(t.Target, workers)
+	return taskOf(t.Name(), src, tgt)
+}
+
 // BuildTaskForProbe exposes task assembly for internal diagnostics.
 func BuildTaskForProbe(t datagen.TransferTask) *transfer.Task {
-	return buildTask(t, 0).task
+	return buildGeneratedTask(t, 0).task
 }
 
 // TruthForProbe exposes target ground truth for internal diagnostics.
 func TruthForProbe(t datagen.TransferTask) []int {
-	return buildTask(t, 0).truthT
+	return buildGeneratedTask(t, 0).truthT
 }

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"transer/internal/datagen"
+	"transer/internal/pipeline"
 )
 
 // tiny returns options small enough for unit tests.
@@ -210,8 +210,9 @@ func TestTable4(t *testing.T) {
 
 func TestBuildTaskAlignment(t *testing.T) {
 	opts := tiny()
-	for _, task := range pairsForTest(opts.Scale) {
-		bt := buildTask(task, opts.Workers)
+	st := opts.store()
+	for _, ref := range pipeline.PaperTaskRefs() {
+		bt := buildTask(st, ref, opts)
 		if len(bt.task.XS) != len(bt.task.YS) {
 			t.Fatalf("%s: source rows/labels misaligned", bt.name)
 		}
@@ -229,7 +230,7 @@ func TestBuildTaskAlignment(t *testing.T) {
 
 func TestLabelFractionTask(t *testing.T) {
 	opts := tiny()
-	bt := buildTask(pairsForTest(opts.Scale)[0], opts.Workers)
+	bt := buildTask(opts.store(), pipeline.PaperTaskRefs()[0], opts)
 	sub := labelFractionTask(bt, 0.5, 1)
 	if len(sub.task.XS) >= len(bt.task.XS) {
 		t.Errorf("fraction did not shrink source: %d vs %d", len(sub.task.XS), len(bt.task.XS))
@@ -241,9 +242,4 @@ func TestLabelFractionTask(t *testing.T) {
 	if len(sub.task.XT) != len(bt.task.XT) {
 		t.Errorf("target modified by label fraction")
 	}
-}
-
-// pairsForTest exposes the paper task list at a test scale.
-func pairsForTest(scale float64) []datagen.TransferTask {
-	return datagen.PaperTasks(scale)
 }

@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"transer/internal/compare"
-	"transer/internal/datagen"
 	"transer/internal/parallel"
 )
 
@@ -24,11 +23,12 @@ type Histogram struct {
 // DBLP-ACM-like data sets.
 func Figure2(opts Options) ([]Histogram, error) {
 	opts = opts.withDefaults()
+	st := opts.store()
 	const bins = 20
-	build := func(p datagen.DomainPair) Histogram {
-		d := buildDomain(p, opts.Workers)
-		means := compare.MeanSimilarity(d.x)
-		h := Histogram{Name: p.Name,
+	build := func(key string) Histogram {
+		d := buildDomain(st, key, opts)
+		means := compare.MeanSimilarity(d.X)
+		h := Histogram{Name: d.Name,
 			Edges:   make([]float64, bins+1),
 			Counts:  make([]int, bins),
 			Matches: make([]int, bins)}
@@ -44,15 +44,15 @@ func Figure2(opts Options) ([]Histogram, error) {
 				b = 0
 			}
 			h.Counts[b]++
-			if d.y[i] == 1 {
+			if d.Y[i] == 1 {
 				h.Matches[b]++
 			}
 		}
 		return h
 	}
-	pairs := []datagen.DomainPair{datagen.MB(opts.Scale), datagen.DBLPACM(opts.Scale)}
-	return parallel.Map(opts.Workers, len(pairs), func(i int) Histogram {
-		return build(pairs[i])
+	keys := []string{"MB", "DBLP-ACM"}
+	return parallel.Map(opts.Workers, len(keys), func(i int) Histogram {
+		return build(keys[i])
 	}), nil
 }
 

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"transer/internal/core"
-	"transer/internal/datagen"
 	"transer/internal/eval"
 	"transer/internal/parallel"
+	"transer/internal/pipeline"
 )
 
 // SweepRow is one parameter/fraction setting's aggregated quality on
@@ -25,10 +25,7 @@ type SweepRow struct {
 // the rows are identical for every worker count.
 func Figure6(opts Options) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	tasks := datagen.RepresentativeTasks(opts.Scale)
-	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
-		return buildTask(tasks[i], opts.Workers)
-	})
+	built := representativeTasks(opts)
 	fracs := []float64{0.25, 0.5, 0.75, 1.0}
 	out := make([]SweepRow, len(built)*len(fracs))
 	errs := make([]error, len(out))
@@ -45,21 +42,21 @@ func Figure6(opts Options) ([]SweepRow, error) {
 		}
 		out[cell] = SweepRow{Task: bt.name, Setting: "label-fraction", Value: frac, Quality: q}
 	})
-	if err := firstError(errs); err != nil {
+	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// firstError returns the lowest-indexed cell error, so failure
-// reporting is as deterministic as the results themselves.
-func firstError(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// representativeTasks builds the three sensitivity/ablation tasks
+// through the artifact store: across Figure 6, Figure 7 and Table 4
+// sharing one store, each underlying domain is built exactly once.
+func representativeTasks(opts Options) []builtTask {
+	st := opts.store()
+	tasks := pipeline.RepresentativeTaskRefs()
+	return parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
+		return buildTask(st, tasks[i], opts)
+	})
 }
 
 // Figure7 measures TransER's sensitivity to t_c, t_l, t_p and k on the
@@ -84,10 +81,7 @@ func Figure7(opts Options) ([]SweepRow, error) {
 		{"k", []float64{3, 5, 7, 9, 11},
 			func(cfg *core.Config, v float64) { cfg.K = int(v) }},
 	}
-	tasks := datagen.RepresentativeTasks(opts.Scale)
-	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
-		return buildTask(tasks[i], opts.Workers)
-	})
+	built := representativeTasks(opts)
 	type cell struct {
 		task  int
 		sweep int
@@ -117,7 +111,7 @@ func Figure7(opts Options) ([]SweepRow, error) {
 		}
 		out[i] = SweepRow{Task: bt.name, Setting: sw.name, Value: c.value, Quality: q}
 	})
-	if err := firstError(errs); err != nil {
+	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -145,10 +139,7 @@ func Table4(opts Options) (*Table, error) {
 	for _, v := range variants {
 		t.Header = append(t.Header, v.name)
 	}
-	tasks := datagen.RepresentativeTasks(opts.Scale)
-	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
-		return buildTask(tasks[i], opts.Workers)
-	})
+	built := representativeTasks(opts)
 	// One (task, variant) quality aggregate per grid cell.
 	quality := make([]eval.MetricsAggregate, len(built)*len(variants))
 	errs := make([]error, len(quality))
@@ -164,7 +155,7 @@ func Table4(opts Options) (*Table, error) {
 		}
 		quality[cell] = q
 	})
-	if err := firstError(errs); err != nil {
+	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}
 	for ti, bt := range built {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"transer/internal/datagen"
 	"transer/internal/parallel"
+	"transer/internal/pipeline"
 )
 
 // Table1 reproduces the paper's Table 1: per-domain feature vector
@@ -30,12 +30,12 @@ func Table1(opts Options) (*Table, error) {
 		}
 		return string(out)
 	}
-	analyse := func(d builtDomain) domainStats {
+	analyse := func(d *pipeline.Domain) domainStats {
 		labelSets := map[string][2]int{}
-		for i, row := range d.x {
+		for i, row := range d.X {
 			k := key(row)
 			c := labelSets[k]
-			c[d.y[i]]++
+			c[d.Y[i]]++
 			labelSets[k] = c
 		}
 		classOf := make(map[string]int, len(labelSets))
@@ -49,8 +49,8 @@ func Table1(opts Options) (*Table, error) {
 				classOf[k] = 0
 			}
 		}
-		st := domainStats{name: d.name, rows: len(d.x), classOf: classOf}
-		for i, row := range d.x {
+		st := domainStats{name: d.Name, rows: len(d.X), classOf: classOf}
+		for i, row := range d.X {
 			switch classOf[key(row)] {
 			case -1:
 				st.a++
@@ -76,18 +76,19 @@ func Table1(opts Options) (*Table, error) {
 			"Common", "Same", "Diff", "Ambig"},
 	}
 
-	pairings := []struct{ a, b datagen.DomainPair }{
-		{datagen.DBLPACM(opts.Scale), datagen.DBLPScholar(opts.Scale)},
-		{datagen.MSD(opts.Scale), datagen.MB(opts.Scale)},
-		{datagen.IOSBpDp(opts.Scale), datagen.KILBpDp(opts.Scale)},
-		{datagen.IOSBpBp(opts.Scale), datagen.KILBpBp(opts.Scale)},
+	pairings := [][2]string{
+		{"DBLP-ACM", "DBLP-Scholar"},
+		{"MSD", "MB"},
+		{"IOS-Bp-Dp", "KIL-Bp-Dp"},
+		{"IOS-Bp-Bp", "KIL-Bp-Bp"},
 	}
+	st := opts.store()
 	// Each pairing's statistics are independent; compute them into
 	// per-index slots so the row order never depends on scheduling.
 	t.Rows = parallel.Map(opts.Workers, len(pairings), func(i int) []string {
 		p := pairings[i]
-		da := buildDomain(p.a, opts.Workers)
-		db := buildDomain(p.b, opts.Workers)
+		da := buildDomain(st, p[0], opts)
+		db := buildDomain(st, p[1], opts)
 		sa := analyse(da)
 		sb := analyse(db)
 		// Common distinct vectors and their cross-domain agreement.
@@ -114,7 +115,7 @@ func Table1(opts Options) (*Table, error) {
 			return pct(float64(n) / float64(common))
 		}
 		return []string{
-			fmt.Sprintf("%d", da.m),
+			fmt.Sprintf("%d", da.NumFeatures()),
 			sa.name, fmt.Sprintf("%d", sa.rows), pct(sa.m), pct(sa.n), pct(sa.a),
 			sb.name, fmt.Sprintf("%d", sb.rows), pct(sb.m), pct(sb.n), pct(sb.a),
 			fmt.Sprintf("%d", common), frac(same), frac(diff), frac(ambig),

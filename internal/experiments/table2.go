@@ -6,9 +6,9 @@ import (
 	"strings"
 	"time"
 
-	"transer/internal/datagen"
 	"transer/internal/eval"
 	"transer/internal/parallel"
+	"transer/internal/pipeline"
 	"transer/internal/transfer"
 )
 
@@ -77,9 +77,10 @@ func demographicTask(name string) bool {
 // a builtTask across cells is safe.
 func Table2(opts Options) (*Table2Result, error) {
 	opts = opts.withDefaults()
-	tasks := datagen.PaperTasks(opts.Scale)
+	st := opts.store()
+	tasks := pipeline.PaperTaskRefs()
 	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
-		return buildTask(tasks[i], opts.Workers)
+		return buildTask(st, tasks[i], opts)
 	})
 	ms := methods(opts.Seed, opts.SkipSlow)
 	res := &Table2Result{

@@ -129,3 +129,16 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	ForEach(workers, n, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// FirstError returns the lowest-indexed non-nil error of a per-slot
+// error slice — the standard way grid fan-outs report failures, so
+// that error selection is as deterministic as the results themselves
+// (the winning error never depends on which worker finished first).
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -115,5 +116,19 @@ func TestForEachWorkersExceedingRange(t *testing.T) {
 	ForEach(64, 3, func(i int) { total.Add(int64(i) + 1) })
 	if total.Load() != 6 {
 		t.Errorf("total = %d, want 6", total.Load())
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError(nil); err != nil {
+		t.Errorf("FirstError(nil) = %v, want nil", err)
+	}
+	if err := FirstError(make([]error, 5)); err != nil {
+		t.Errorf("all-nil slots: %v, want nil", err)
+	}
+	e2, e4 := errors.New("cell 2"), errors.New("cell 4")
+	errs := []error{nil, nil, e2, nil, e4}
+	if err := FirstError(errs); err != e2 {
+		t.Errorf("FirstError = %v, want the lowest-indexed error %v", err, e2)
 	}
 }

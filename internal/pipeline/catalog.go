@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"transer/internal/datagen"
+)
+
+// Dataset is a cacheable dataset identity: a stable key, the generator
+// seed baked into the dataset's spec, and the pure generator function.
+// (Key, Seed, scale) fully determine the generated databases, which is
+// what lets the store fingerprint generation.
+type Dataset struct {
+	Key  string
+	Seed int64
+	Make func(scale float64) datagen.DomainPair
+}
+
+// Generate runs the generation stage: a pure function of (Dataset,
+// scale).
+func (d Dataset) Generate(scale float64) datagen.DomainPair {
+	return d.Make(scale)
+}
+
+// Catalog returns the built-in dataset stand-ins in Table 1 order.
+func Catalog() []Dataset {
+	builtins := datagen.Builtins()
+	out := make([]Dataset, len(builtins))
+	for i, b := range builtins {
+		out[i] = Dataset{Key: b.Key, Seed: b.Seed, Make: b.Make}
+	}
+	return out
+}
+
+// DatasetByKey looks a built-in dataset up by its key.
+func DatasetByKey(key string) (Dataset, bool) {
+	b, ok := datagen.BuiltinByKey(key)
+	if !ok {
+		return Dataset{}, false
+	}
+	return Dataset{Key: b.Key, Seed: b.Seed, Make: b.Make}, true
+}
+
+// MustDataset is DatasetByKey for keys that are compile-time constants
+// in the experiment harness; unknown keys are programmer errors.
+func MustDataset(key string) Dataset {
+	d, ok := DatasetByKey(key)
+	if !ok {
+		panic("pipeline: unknown built-in dataset " + key)
+	}
+	return d
+}
+
+// TaskRef identifies one source→target transfer task by dataset keys.
+type TaskRef struct {
+	Source, Target string
+}
+
+// Name formats the task the way experiment tables caption it.
+func (t TaskRef) Name() string { return t.Source + " -> " + t.Target }
+
+// PaperTaskRefs returns the eight source→target tasks of the paper's
+// Table 2 as dataset key pairs.
+func PaperTaskRefs() []TaskRef {
+	return refsOf(datagen.PaperTaskKeys())
+}
+
+// RepresentativeTaskRefs returns the three tasks used for the
+// sensitivity and ablation experiments (paper Sections 5.2.3-5.4).
+func RepresentativeTaskRefs() []TaskRef {
+	return refsOf(datagen.RepresentativeTaskKeys())
+}
+
+func refsOf(keys [][2]string) []TaskRef {
+	out := make([]TaskRef, len(keys))
+	for i, k := range keys {
+		out[i] = TaskRef{Source: k[0], Target: k[1]}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"transer/internal/blocking"
+	"transer/internal/compare"
+)
+
+// Fingerprint is the deterministic cache key of one stage artifact:
+// the SHA-256 of a canonical description of the stage and every input
+// that can change its output. Stage fingerprints chain — the block key
+// hashes the generate fingerprint, the compare and label keys hash the
+// block fingerprint — so any differing upstream input propagates to
+// every downstream key.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as short hex for diagnostics.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
+
+func fingerprint(key string) Fingerprint { return sha256.Sum256([]byte(key)) }
+
+// generateKey identifies a generated domain pair: dataset identity
+// (key + generator seed) and scale.
+func generateKey(d Dataset, scale float64) string {
+	return fmt.Sprintf("generate|dataset=%s|seed=%d|scale=%g", d.Key, d.Seed, scale)
+}
+
+// blockKey identifies a candidate pair set: the generated data it was
+// blocked from plus the normalised blocking configuration (so the zero
+// config and an explicitly spelled-out default hit the same entry).
+func blockKey(gen Fingerprint, cfg blocking.MinHashConfig) string {
+	c := cfg.Normalized()
+	return fmt.Sprintf("block|%x|hashes=%d|bands=%d|q=%d|attrs=%v|seed=%d|maxbucket=%d",
+		gen[:], c.NumHashes, c.Bands, c.Q, c.Attrs, c.Seed, c.MaxBucketSize)
+}
+
+// compareKey identifies a feature matrix: the candidate pairs it was
+// computed over plus the comparison scheme signature. Scheme.Workers
+// is deliberately excluded — the matrix is byte-identical for every
+// worker count (the parallel package's determinism guarantee), so a
+// hit computed at one worker count is exactly the artifact any other
+// count would rebuild.
+func compareKey(block Fingerprint, s compare.Scheme) string {
+	var sig strings.Builder
+	for _, c := range s.Comparators {
+		fmt.Fprintf(&sig, "(%d:%s)", c.Attr, c.Name)
+	}
+	return fmt.Sprintf("compare|%x|comparators=%s|missing=%d|quantize=%g",
+		block[:], sig.String(), s.Missing, s.Quantize)
+}
+
+// labelKey identifies a pair label vector: labels are a pure function
+// of the blocked pairs and the generated data's ground truth, both of
+// which the block fingerprint already pins.
+func labelKey(block Fingerprint) string {
+	return fmt.Sprintf("label|%x", block[:])
+}

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"testing"
+
+	"transer/internal/blocking"
+	"transer/internal/compare"
+	"transer/internal/dataset"
+)
+
+func TestGenerateKeyIdentity(t *testing.T) {
+	d := MustDataset("DBLP-ACM")
+	if generateKey(d, 0.5) != generateKey(d, 0.5) {
+		t.Fatalf("equal inputs produced different generate keys")
+	}
+	distinct := map[string]string{
+		"base":            generateKey(d, 0.5),
+		"other scale":     generateKey(d, 0.25),
+		"other key":       generateKey(Dataset{Key: "other", Seed: d.Seed}, 0.5),
+		"other seed":      generateKey(Dataset{Key: d.Key, Seed: d.Seed + 1}, 0.5),
+		"other dataset":   generateKey(MustDataset("MSD"), 0.5),
+		"tiny scale diff": generateKey(d, 0.5000001),
+	}
+	seen := map[string]string{}
+	for name, k := range distinct {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("generate keys collide: %q and %q -> %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+func TestBlockKeyNormalisesDefaults(t *testing.T) {
+	gen := fingerprint("test|gen")
+	zero := blocking.MinHashConfig{}
+	spelled := zero.Normalized()
+	if blockKey(gen, zero) != blockKey(gen, spelled) {
+		t.Errorf("zero config and spelled-out defaults must share a block key")
+	}
+	tighter := blocking.MinHashConfig{Bands: 12}
+	if blockKey(gen, zero) == blockKey(gen, tighter) {
+		t.Errorf("different band counts must not share a block key")
+	}
+	otherGen := fingerprint("test|gen2")
+	if blockKey(gen, zero) == blockKey(otherGen, zero) {
+		t.Errorf("block key must chain the upstream generate fingerprint")
+	}
+}
+
+func TestCompareKeyExcludesWorkers(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "title", Type: dataset.AttrName},
+		{Name: "year", Type: dataset.AttrYear},
+	}}
+	blockFP := fingerprint("test|block")
+	a := compare.DefaultScheme(sch)
+	b := compare.DefaultScheme(sch)
+	b.Workers = 8
+	if compareKey(blockFP, a) != compareKey(blockFP, b) {
+		t.Errorf("worker count leaked into the compare fingerprint")
+	}
+	c := a.WithQuantize(0.01)
+	if compareKey(blockFP, a) == compareKey(blockFP, c) {
+		t.Errorf("quantisation step must change the compare fingerprint")
+	}
+	d := a.WithMissing(compare.MissingHalf)
+	if compareKey(blockFP, a) == compareKey(blockFP, d) {
+		t.Errorf("missing policy must change the compare fingerprint")
+	}
+	e := a.With(0, "title_exact", compare.ExactMatch())
+	if compareKey(blockFP, a) == compareKey(blockFP, e) {
+		t.Errorf("extra comparator must change the compare fingerprint")
+	}
+}
+
+func TestBuildPairMatchesStoreArtifacts(t *testing.T) {
+	// The memoized path must produce exactly what the un-memoized
+	// stage composition produces.
+	st := NewStore()
+	cached := st.Domain(Request{Dataset: MustDataset("DBLP-ACM"), Scale: 0.02, Workers: 1})
+	direct := BuildPair(MustDataset("DBLP-ACM").Generate(0.02), 1)
+	if cached.Name != direct.Name {
+		t.Fatalf("name mismatch: %q vs %q", cached.Name, direct.Name)
+	}
+	if len(cached.Pairs) != len(direct.Pairs) || len(cached.X) != len(direct.X) {
+		t.Fatalf("artifact sizes differ: %d/%d pairs, %d/%d rows",
+			len(cached.Pairs), len(direct.Pairs), len(cached.X), len(direct.X))
+	}
+	for i := range cached.X {
+		if cached.Y[i] != direct.Y[i] {
+			t.Fatalf("label %d differs", i)
+		}
+		for j := range cached.X[i] {
+			if cached.X[i][j] != direct.X[i][j] {
+				t.Fatalf("feature (%d,%d) differs: %v vs %v", i, j, cached.X[i][j], direct.X[i][j])
+			}
+		}
+	}
+}
+
+func TestCatalogCoversBuiltins(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d datasets, want 8", len(cat))
+	}
+	for _, d := range cat {
+		got := MustDataset(d.Key)
+		if got.Seed != d.Seed {
+			t.Errorf("%s: seed %d from lookup, %d from catalog", d.Key, got.Seed, d.Seed)
+		}
+	}
+	if _, ok := DatasetByKey("no-such-dataset"); ok {
+		t.Errorf("unknown key reported as present")
+	}
+	refs := PaperTaskRefs()
+	if len(refs) != 8 {
+		t.Fatalf("paper task refs = %d, want 8", len(refs))
+	}
+	if got := refs[0].Name(); got != "DBLP-ACM -> DBLP-Scholar" {
+		t.Errorf("task name = %q", got)
+	}
+	if len(RepresentativeTaskRefs()) != 3 {
+		t.Errorf("representative task refs = %d, want 3", len(RepresentativeTaskRefs()))
+	}
+}

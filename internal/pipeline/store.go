@@ -1,0 +1,187 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"transer/internal/blocking"
+	"transer/internal/compare"
+	"transer/internal/datagen"
+	"transer/internal/dataset"
+)
+
+// Stats is a point-in-time snapshot of store activity. Hits counts
+// artifact requests served from a completed or in-flight build; Misses
+// counts builds actually performed; Bytes approximates the resident
+// size of all memoized artifacts.
+type Stats struct {
+	Hits, Misses int64
+	Bytes        int64
+}
+
+// Store memoizes pipeline stage outputs under their fingerprints. A
+// single store may be shared by any number of concurrent workloads:
+// requests for the same artifact are single-flighted, so each distinct
+// (dataset, scale, blocking, scheme, seed) combination is generated,
+// blocked, compared and labelled exactly once per store, no matter how
+// many experiment cells ask for it at the same time.
+//
+// Artifacts returned from the store are shared and must be treated as
+// read-only by every consumer — the same guarantee the experiment grid
+// already relies on when fanning one built task out over many method
+// cells.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Fingerprint]*entry
+
+	hits, misses, bytes atomic.Int64
+}
+
+// entry is one memoized artifact. done is closed once val (or pan) is
+// final; waiters block on it rather than rebuilding.
+type entry struct {
+	done chan struct{}
+	val  any
+	pan  any // non-nil when the build panicked; re-raised to waiters
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{entries: map[Fingerprint]*entry{}}
+}
+
+// Stats snapshots the hit/miss/byte counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Bytes: s.bytes.Load()}
+}
+
+// get returns the artifact under fp, building it with build on the
+// first request (single-flight: concurrent requesters wait for the
+// builder instead of duplicating work). size reports the approximate
+// resident bytes of a freshly built artifact.
+func (s *Store) get(fp Fingerprint, build func() (val any, size int64)) any {
+	s.mu.Lock()
+	if e, ok := s.entries[fp]; ok {
+		s.mu.Unlock()
+		<-e.done
+		if e.pan != nil {
+			panic(e.pan)
+		}
+		s.hits.Add(1)
+		return e.val
+	}
+	e := &entry{done: make(chan struct{})}
+	s.entries[fp] = e
+	s.mu.Unlock()
+
+	s.misses.Add(1)
+	defer close(e.done)
+	defer func() {
+		// A panicking build (e.g. a worker panic re-raised by the
+		// parallel package) must not leave waiters blocked forever:
+		// record the value for them, then let it propagate here.
+		if r := recover(); r != nil {
+			e.pan = r
+			panic(r)
+		}
+	}()
+	val, size := build()
+	e.val = val
+	s.bytes.Add(size)
+	return val
+}
+
+// Request identifies one memoized domain build.
+type Request struct {
+	// Dataset is the generator identity (see Catalog / DatasetByKey).
+	Dataset Dataset
+	// Scale multiplies the generated data set sizes.
+	Scale float64
+	// Blocking overrides the dataset's recommended blocking
+	// configuration; nil uses the recommendation.
+	Blocking *blocking.MinHashConfig
+	// Scheme derives the comparison scheme from the generated schema;
+	// nil uses compare.DefaultScheme. Schemes are fingerprinted by
+	// their comparator (attr, name) signature plus the missing-value
+	// and quantisation settings, so custom comparators must carry
+	// distinct names to be distinguished.
+	Scheme func(dataset.Schema) compare.Scheme
+	// Workers bounds build parallelism. It is deliberately not part of
+	// any fingerprint: every stage output is byte-identical for every
+	// worker count.
+	Workers int
+}
+
+// Domain builds (or fetches) the fully staged domain artifact for the
+// request: generate → block → compare → label, each stage memoized
+// under its chained fingerprint.
+func (s *Store) Domain(req Request) *Domain {
+	genFP := fingerprint(generateKey(req.Dataset, req.Scale))
+	pair := s.get(genFP, func() (any, int64) {
+		p := req.Dataset.Generate(req.Scale)
+		return p, pairBytes(p)
+	}).(datagen.DomainPair)
+
+	cfg := pair.Blocking
+	if req.Blocking != nil {
+		cfg = *req.Blocking
+	}
+	blockFP := fingerprint(blockKey(genFP, cfg))
+	pairs := s.get(blockFP, func() (any, int64) {
+		ps := Block(pair.A, pair.B, cfg)
+		return ps, int64(len(ps)) * 16
+	}).([]dataset.Pair)
+
+	scheme := compare.DefaultScheme(pair.A.Schema)
+	if req.Scheme != nil {
+		scheme = req.Scheme(pair.A.Schema)
+	}
+	scheme.Workers = req.Workers
+	compFP := fingerprint(compareKey(blockFP, scheme))
+	x := s.get(compFP, func() (any, int64) {
+		m := Compare(pair.A, pair.B, pairs, scheme)
+		return m, matrixBytes(m)
+	}).([][]float64)
+
+	labelFP := fingerprint(labelKey(blockFP))
+	y := s.get(labelFP, func() (any, int64) {
+		ls := Label(pairs, pair.Truth())
+		return ls, int64(len(ls)) * 8
+	}).([]int)
+
+	return &Domain{
+		Name:   pair.Name,
+		A:      pair.A,
+		B:      pair.B,
+		Pairs:  pairs,
+		X:      x,
+		Y:      y,
+		Scheme: scheme,
+	}
+}
+
+// pairBytes approximates the resident size of a generated domain pair.
+func pairBytes(p datagen.DomainPair) int64 {
+	var n int64
+	for _, db := range []*dataset.Database{p.A, p.B} {
+		if db == nil {
+			continue
+		}
+		for _, r := range db.Records {
+			n += 16 // record header
+			for _, v := range r.Values {
+				n += int64(len(v)) + 16
+			}
+		}
+	}
+	return n
+}
+
+// matrixBytes approximates the resident size of a feature matrix.
+func matrixBytes(x [][]float64) int64 {
+	var n int64
+	for _, row := range x {
+		n += int64(len(row))*8 + 24
+	}
+	return n
+}

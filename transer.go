@@ -27,6 +27,7 @@ import (
 	"transer/internal/dataset"
 	"transer/internal/eval"
 	"transer/internal/ml"
+	"transer/internal/pipeline"
 )
 
 // Re-exported pipeline types. These aliases make the internal packages'
@@ -70,8 +71,10 @@ const (
 	AttrNumeric = dataset.AttrNumeric
 )
 
-// DefaultConfig returns the paper's default TransER parameters:
-// k = 7, t_c = 0.9, t_l = 0.9, t_p = 0.99, b = 3 (1:3 balance).
+// DefaultConfig returns the default TransER parameters: k = 7,
+// t_c = 0.9, t_l = 0.9, t_p = 0.90, b = 3 (1:3 balance). The paper
+// quotes t_p = 0.99; this implementation defaults to 0.90 for the
+// reasons documented on Config.TP.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Domain is one ER domain: two databases, their candidate record pairs
@@ -127,10 +130,11 @@ func WithoutLabels() DomainOption {
 	return func(o *domainOptions) { o.dropTruth = true }
 }
 
-// NewDomain blocks and compares two databases into a Domain. The two
-// databases must share a schema (the homogeneous feature space
-// precondition). Labels are derived from record entity identifiers
-// when available.
+// NewDomain blocks and compares two databases into a Domain via the
+// staged construction pipeline (generate → block → compare → label;
+// see internal/pipeline). The two databases must share a schema (the
+// homogeneous feature space precondition). Labels are derived from
+// record entity identifiers when available.
 func NewDomain(a, b *Database, opts ...DomainOption) (*Domain, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("transer: nil database")
@@ -151,26 +155,25 @@ func NewDomain(a, b *Database, opts ...DomainOption) (*Domain, error) {
 	if o.name == "" {
 		o.name = a.Name + "×" + b.Name
 	}
-	scheme := compare.DefaultScheme(a.Schema)
-	if o.scheme != nil {
-		scheme = *o.scheme
+	return domainOf(pipeline.Build(a, b, pipeline.BuildSpec{
+		Name:     o.name,
+		Blocking: o.blocking,
+		Scheme:   o.scheme,
+		NoLabels: o.dropTruth,
+	})), nil
+}
+
+// domainOf converts a pipeline artifact into the public Domain type.
+func domainOf(d *pipeline.Domain) *Domain {
+	return &Domain{
+		Name:   d.Name,
+		A:      d.A,
+		B:      d.B,
+		Pairs:  d.Pairs,
+		X:      d.X,
+		Y:      d.Y,
+		Scheme: d.Scheme,
 	}
-	pairs := blocking.CandidatePairs(a, b, o.blocking)
-	d := &Domain{
-		Name:   o.name,
-		A:      a,
-		B:      b,
-		Pairs:  pairs,
-		X:      scheme.Matrix(a, b, pairs),
-		Scheme: scheme,
-	}
-	if !o.dropTruth {
-		truth := dataset.GroundTruth(a, b)
-		if len(truth) > 0 {
-			d.Y = dataset.LabelPairs(pairs, truth)
-		}
-	}
-	return d, nil
 }
 
 // Labelled reports whether the domain carries pair labels.
