@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,36 @@ bench:
 # Full-scale regeneration of every table and figure.
 experiments:
 	$(GO) run ./cmd/experiments -exp all
+
+# Bounded fuzzing smoke: each native fuzz target runs for a short,
+# fixed budget on top of its checked-in seed corpus (testdata/fuzz).
+# The go tool accepts only one -fuzz target per invocation, hence one
+# line per target. Counterexamples land in testdata/fuzz/<Target>/ —
+# commit them as regression seeds after fixing the bug they expose.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME) ./internal/strutil/
+	$(GO) test -run '^$$' -fuzz '^FuzzJaroWinkler$$' -fuzztime $(FUZZTIME) ./internal/strutil/
+	$(GO) test -run '^$$' -fuzz '^FuzzCSVDataset$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+
+# Short-mode coverage over the whole module, with per-function summary.
+# CI enforces a floor for internal/core and internal/testkit (the
+# property harness must itself stay tested).
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Enforced coverage floors for the packages the testing subsystem most
+# depends on. Floors sit ~10 points below measured coverage so routine
+# changes pass while a gutted test suite fails loudly.
+cover-check:
+	@set -e; \
+	check() { \
+		pkg=$$1; floor=$$2; \
+		$(GO) test -short -coverprofile=coverage-$$pkg.out ./internal/$$pkg/ >/dev/null; \
+		pct=$$($(GO) tool cover -func=coverage-$$pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "internal/$$pkg coverage: $$pct% (floor $$floor%)"; \
+		awk -v p=$$pct -v f=$$floor 'BEGIN { exit !(p >= f) }' || { echo "internal/$$pkg below floor"; exit 1; }; \
+	}; \
+	check core 85.0; \
+	check testkit 65.0

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transer/internal/dataset"
+	"transer/internal/testkit"
+)
+
+func TestDatagenWritesDatasetPair(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/datagen")
+	dir := t.TempDir()
+	out := testkit.RunBinary(t, bin, "-dataset", "dblp-acm", "-scale", "0.05", "-out", dir)
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "true matches") {
+		t.Fatalf("unexpected datagen output:\n%s", out)
+	}
+	// The emitted CSVs must parse back through the library reader.
+	for _, side := range []string{"a", "b"} {
+		path := filepath.Join(dir, "dblp-acm-"+side+".csv")
+		db, err := dataset.ReadCSVFile(path, "check")
+		if err != nil {
+			t.Fatalf("reading %s back: %v", path, err)
+		}
+		if db.NumRecords() == 0 {
+			t.Fatalf("%s holds no records", path)
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s is invalid: %v", path, err)
+		}
+	}
+}
+
+func TestDatagenUnknownDataset(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/datagen")
+	out := testkit.RunBinaryErr(t, bin, "-dataset", "no-such-set", "-out", t.TempDir())
+	if !strings.Contains(out, "unknown dataset") {
+		t.Fatalf("want an unknown-dataset diagnostic, got:\n%s", out)
+	}
+}
+
+func TestDatagenUsageListsFlags(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/datagen")
+	// -h exit status varies across flag-package versions; only the
+	// usage text matters here.
+	out, _ := exec.Command(bin, "-h").CombinedOutput()
+	for _, flag := range []string{"-out", "-dataset", "-scale"} {
+		if !strings.Contains(string(out), flag) {
+			t.Fatalf("usage output lacks %s:\n%s", flag, out)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+func TestExperimentsUnknownExperiment(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/experiments")
+	out := testkit.RunBinaryErr(t, bin, "-exp", "table99")
+	if !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("want an unknown-experiment diagnostic, got:\n%s", out)
+	}
+}
+
+// One real experiment at a miniature scale exercises flag plumbing,
+// the shared artifact store and the renderer end to end.
+func TestExperimentsTable1Miniature(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/experiments")
+	out := testkit.RunBinary(t, bin,
+		"-exp", "table1", "-scale", "0.05", "-seed", "1",
+		"-skip-slow", "-workers", "2", "-cache-stats")
+	for _, want := range []string{"done in", "cache-stats:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+func TestTranserMissingRequiredFlag(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/transer")
+	out := testkit.RunBinaryErr(t, bin)
+	if !strings.Contains(out, "missing required flag -source-a") {
+		t.Fatalf("want a missing-flag diagnostic, got:\n%s", out)
+	}
+}
+
+func TestTranserUsageListsFlags(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/transer")
+	out, _ := exec.Command(bin, "-h").CombinedOutput()
+	for _, flag := range []string{"-source-a", "-target-b", "-tc", "-tl", "-tp", "-k", "-b", "-out"} {
+		if !strings.Contains(string(out), flag) {
+			t.Fatalf("usage output lacks %s:\n%s", flag, out)
+		}
+	}
+}
+
+// End to end on a miniature task: datagen emits the CSVs, transer
+// blocks, compares, transfers and writes predicted matches.
+func TestTranserEndToEnd(t *testing.T) {
+	datagen := testkit.BuildBinary(t, "transer/cmd/datagen")
+	bin := testkit.BuildBinary(t, "transer/cmd/transer")
+	dir := t.TempDir()
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-acm", "-scale", "0.1", "-out", dir)
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-scholar", "-scale", "0.1", "-out", dir)
+
+	outCSV := filepath.Join(dir, "matches.csv")
+	out := testkit.RunBinary(t, bin,
+		"-source-a", filepath.Join(dir, "dblp-acm-a.csv"),
+		"-source-b", filepath.Join(dir, "dblp-acm-b.csv"),
+		"-target-a", filepath.Join(dir, "dblp-scholar-a.csv"),
+		"-target-b", filepath.Join(dir, "dblp-scholar-b.csv"),
+		"-out", outCSV)
+	// The generated target carries entity ids, so the run must report
+	// phase statistics and an evaluation block on stderr.
+	for _, want := range []string{"SEL kept", "evaluation:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output lacks %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatalf("reading matches: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "a_id,b_id,probability" {
+		t.Fatalf("unexpected matches header %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatalf("no predicted matches on an overlapping bibliographic task:\n%s", data)
+	}
+	for _, line := range lines[1:] {
+		if fields := strings.Split(line, ","); len(fields) != 3 {
+			t.Fatalf("malformed match row %q", line)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -18,9 +19,12 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "multiplier on the example's data sizes")
+	flag.Parse()
+
 	source, target, err := transer.BuildDomains(transer.TransferTask{
-		Source: transer.DBLPACM(0.3),
-		Target: transer.DBLPScholar(0.3),
+		Source: transer.DBLPACM(0.3 * *scale),
+		Target: transer.DBLPScholar(0.3 * *scale),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,8 +19,11 @@ import (
 )
 
 func main() {
-	kil := transer.KILBpDp(0.3) // labelled town records (source)
-	ios := transer.IOSBpDp(0.3) // unlabelled island records (target)
+	scale := flag.Float64("scale", 1, "multiplier on the example's data sizes")
+	flag.Parse()
+
+	kil := transer.KILBpDp(0.3 * *scale) // labelled town records (source)
+	ios := transer.IOSBpDp(0.3 * *scale) // unlabelled island records (target)
 
 	// Certificates are blocked on the four parent-name attributes with
 	// a tighter LSH threshold, the standard practice for this domain;

@@ -1,0 +1,32 @@
+// Smoke coverage for the runnable examples: each main package must
+// build and complete a miniature run. The -scale flag every example
+// accepts shrinks its bundled datasets so the whole sweep stays in
+// short-test territory.
+package examples
+
+import (
+	"strings"
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+func TestExamplesRunMiniature(t *testing.T) {
+	for _, name := range []string{
+		"quickstart", "ablation", "multisource", "bibliographic", "demographic",
+	} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := testkit.BuildBinary(t, "transer/examples/"+name)
+			out := testkit.RunBinary(t, bin, "-scale", "0.1")
+			if strings.TrimSpace(out) == "" {
+				t.Fatal("example produced no output")
+			}
+			// The table-printing examples report per-row failures
+			// inline instead of exiting non-zero; catch those too.
+			if strings.Contains(out, "error:") {
+				t.Fatalf("example reported an error:\n%s", out)
+			}
+		})
+	}
+}

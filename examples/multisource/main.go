@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,8 +18,11 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "multiplier on the example's data sizes")
+	flag.Parse()
+
 	// Target: unlabelled music catalogue pair.
-	targetPair := transer.MSD(0.2)
+	targetPair := transer.MSD(0.2 * *scale)
 	target, err := transer.BuildDomain(targetPair)
 	if err != nil {
 		log.Fatal(err)
@@ -28,13 +32,17 @@ func main() {
 	// bibliographic pair forced onto a comparable feature space? No —
 	// feature spaces must match (homogeneous TL), so candidates are
 	// two differently-distributed music sources.
-	mb, err := transer.BuildDomain(transer.MB(0.2))
+	mb, err := transer.BuildDomain(transer.MB(0.2 * *scale))
 	if err != nil {
 		log.Fatal(err)
 	}
+	legacyEntities := int(400 * *scale)
+	if legacyEntities < 40 {
+		legacyEntities = 40
+	}
 	msdOld, err := transer.BuildDomain(transer.Generate(transer.GeneratorSpec{
 		Name: "msd-legacy", Kind: 1 /* music */, Seed: 777,
-		NumEntities: 400, FracA: 0.8, FracB: 0.8, AmbiguityFrac: 0.05,
+		NumEntities: legacyEntities, FracA: 0.8, FracB: 0.8, AmbiguityFrac: 0.05,
 	}))
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,13 +16,16 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "multiplier on the example's data sizes")
+	flag.Parse()
+
 	// A labelled source domain (DBLP-ACM-like) and an unlabelled
 	// target domain (DBLP-Scholar-like). In practice the source would
 	// be a public benchmark with curated ground truth and the target
 	// your own databases.
 	source, target, err := transer.BuildDomains(transer.TransferTask{
-		Source: transer.DBLPACM(0.3),
-		Target: transer.DBLPScholar(0.3),
+		Source: transer.DBLPACM(0.3 * *scale),
+		Target: transer.DBLPScholar(0.3 * *scale),
 	})
 	if err != nil {
 		log.Fatal(err)

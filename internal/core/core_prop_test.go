@@ -1,0 +1,230 @@
+package core_test
+
+// Metamorphic property suite for the TransER framework (SEL/GEN/TCL),
+// driven by internal/testkit. Every relation asserted here is exact —
+// not approximate — in the generated regime:
+//
+//   - matrices are continuous, so coordinate ties between distinct
+//     rows are measure-zero and KNN neighbour sequences ordered by
+//     (distance, id) are invariant under row relabelling;
+//   - injected duplicates copy (vector, label) together, so the only
+//     ties are between instances that are indistinguishable to every
+//     similarity in Eq. 1-2.
+//
+// Under those two conditions permutation equivariance, duplicate
+// consistency and label-corruption monotonicity hold bit-exactly, so
+// the assertions below compare with == and never with tolerances.
+
+import (
+	"testing"
+
+	"transer/internal/core"
+	"transer/internal/ml"
+	"transer/internal/ml/tree"
+	"transer/internal/testkit"
+	"transer/internal/testkit/oracle"
+)
+
+func propFactory() ml.Factory { return tree.Factory(tree.Config{Seed: 1}) }
+
+func propConfig() core.Config {
+	return core.Config{K: 5, TC: 0.6, TL: 0.6, TP: 0.9, B: 3, Seed: 1}
+}
+
+// selCase is a full SEL input for relation-based properties.
+type selCase struct {
+	xs  [][]float64
+	ys  []int
+	xt  [][]float64
+	cfg core.Config
+}
+
+func genSELCase(pt *testkit.T, size int) selCase {
+	n := 3*size + 14
+	m := 2 + pt.Rng.Intn(3)
+	xs := testkit.Matrix(pt.Rng, n, m)
+	ys := testkit.BinaryLabels(pt.Rng, n)
+	testkit.DuplicateRows(pt.Rng, xs, ys, 0.3)
+	xt := testkit.Matrix(pt.Rng, n/2+10, m)
+	cfg := propConfig()
+	cfg.K = 3 + pt.Rng.Intn(5)
+	cfg.EnableSimV = pt.Rng.Intn(4) == 0
+	cfg.TV = 0.7
+	return selCase{xs: xs, ys: ys, xt: xt, cfg: cfg}
+}
+
+// TestSELSourcePermutationEquivariance: permuting the source instances
+// permutes the selection — SelectInstances must pick the same set of
+// instances, identified through the permutation.
+func TestSELSourcePermutationEquivariance(t *testing.T) {
+	testkit.Run(t, "core/sel-source-permutation", 12, func(pt *testkit.T) {
+		c := genSELCase(pt, pt.Size)
+		p := testkit.Perm(pt.Rng, len(c.xs))
+		base := core.SelectInstances(c.xs, c.ys, c.xt, c.cfg)
+		perm := core.SelectInstances(
+			testkit.Permute(p, c.xs), testkit.Permute(p, c.ys), c.xt, c.cfg)
+		if !testkit.EqualInts(base, testkit.MapIndices(p, perm)) {
+			pt.Errorf("selection not equivariant under source permutation:\nbase %v\nperm %v (as original indices %v)",
+				base, perm, testkit.MapIndices(p, perm))
+		}
+	})
+}
+
+// TestSELTargetPermutationInvariance: the selection depends on the
+// target only through neighbourhood structure, so reordering target
+// rows must not change it at all.
+func TestSELTargetPermutationInvariance(t *testing.T) {
+	testkit.Run(t, "core/sel-target-permutation", 12, func(pt *testkit.T) {
+		c := genSELCase(pt, pt.Size)
+		p := testkit.Perm(pt.Rng, len(c.xt))
+		base := core.SelectInstances(c.xs, c.ys, c.xt, c.cfg)
+		perm := core.SelectInstances(c.xs, c.ys, testkit.Permute(p, c.xt), c.cfg)
+		if !testkit.EqualInts(base, perm) {
+			pt.Errorf("selection changed under target reordering:\nbase %v\nperm %v", base, perm)
+		}
+	})
+}
+
+// TestSELDuplicateDecisionConsistency: instances with identical
+// (vector, label) are indistinguishable to SEL, so they must all be
+// selected or all rejected together.
+func TestSELDuplicateDecisionConsistency(t *testing.T) {
+	testkit.Run(t, "core/sel-duplicate-consistency", 12, func(pt *testkit.T) {
+		c := genSELCase(pt, pt.Size)
+		kept := make(map[int]bool)
+		for _, i := range core.SelectInstances(c.xs, c.ys, c.xt, c.cfg) {
+			kept[i] = true
+		}
+		for i := range c.xs {
+			for j := i + 1; j < len(c.xs); j++ {
+				if c.ys[i] == c.ys[j] && testkit.RowsEqual(c.xs[i], c.xs[j]) && kept[i] != kept[j] {
+					pt.Errorf("duplicate instances %d and %d got different decisions (%v vs %v)",
+						i, j, kept[i], kept[j])
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestSimCClassFlipMonotone: flipping the labels of some class-c
+// source instances is a label corruption that can only lower the
+// confidence similarity sim_c (Eq. 1) of the unflipped class-c
+// instances and only raise it for instances of the other class —
+// neighbour sets are label-independent, so the effect is one-sided.
+func TestSimCClassFlipMonotone(t *testing.T) {
+	testkit.Run(t, "core/simc-class-flip-monotone", 12, func(pt *testkit.T) {
+		c := genSELCase(pt, pt.Size)
+		flipClass := pt.Rng.Intn(2)
+		flipped := make(map[int]bool)
+		ys2 := append([]int(nil), c.ys...)
+		for i := range ys2 {
+			if ys2[i] == flipClass && pt.Rng.Intn(3) == 0 {
+				ys2[i] = 1 - flipClass
+				flipped[i] = true
+			}
+		}
+		before := core.Similarities(c.xs, c.ys, c.xt, c.cfg)
+		after := core.Similarities(c.xs, ys2, c.xt, c.cfg)
+		for i := range c.xs {
+			if flipped[i] {
+				continue
+			}
+			switch {
+			case c.ys[i] == flipClass && after[i].SimC > before[i].SimC:
+				pt.Errorf("instance %d (class %d): sim_c rose from %v to %v after corrupting its own class",
+					i, flipClass, before[i].SimC, after[i].SimC)
+				return
+			case c.ys[i] != flipClass && after[i].SimC < before[i].SimC:
+				pt.Errorf("instance %d (class %d): sim_c fell from %v to %v after corrupting the other class",
+					i, 1-flipClass, before[i].SimC, after[i].SimC)
+				return
+			}
+		}
+	})
+}
+
+// TestRunTargetPermutationEquivariance: with the TCL phase disabled
+// the framework output is a per-row prediction of a classifier whose
+// training set does not depend on target order, so permuting the
+// target rows must permute labels, probabilities and pseudo outputs
+// bit-exactly.
+func TestRunTargetPermutationEquivariance(t *testing.T) {
+	testkit.Run(t, "core/run-target-permutation", 8, func(pt *testkit.T) {
+		d := testkit.NewDomain(pt.Rng, pt.Size)
+		cfg := propConfig()
+		cfg.DisableGENTCL = true
+		base, err := core.Run(d.XS, d.YS, d.XT, propFactory(), cfg)
+		if err != nil {
+			pt.Fatalf("base run: %v", err)
+		}
+		p := testkit.Perm(pt.Rng, len(d.XT))
+		perm, err := core.Run(d.XS, d.YS, testkit.Permute(p, d.XT), propFactory(), cfg)
+		if err != nil {
+			pt.Fatalf("permuted run: %v", err)
+		}
+		if !testkit.EqualFloats(perm.Proba, testkit.Permute(p, base.Proba)) ||
+			!testkit.EqualInts(perm.Labels, testkit.Permute(p, base.Labels)) {
+			pt.Errorf("GEN output is not equivariant under target permutation")
+		}
+	})
+}
+
+// TestPseudoOutputsPermuteWithTarget: even with TCL enabled, the GEN
+// phase's pseudo labels and confidences are per-row classifier outputs
+// and must permute exactly with the target.
+func TestPseudoOutputsPermuteWithTarget(t *testing.T) {
+	testkit.Run(t, "core/pseudo-target-permutation", 8, func(pt *testkit.T) {
+		d := testkit.NewDomain(pt.Rng, pt.Size)
+		cfg := propConfig()
+		base, err := core.Run(d.XS, d.YS, d.XT, propFactory(), cfg)
+		if err != nil {
+			pt.Fatalf("base run: %v", err)
+		}
+		p := testkit.Perm(pt.Rng, len(d.XT))
+		perm, err := core.Run(d.XS, d.YS, testkit.Permute(p, d.XT), propFactory(), cfg)
+		if err != nil {
+			pt.Fatalf("permuted run: %v", err)
+		}
+		if !testkit.EqualInts(perm.PseudoLabels, testkit.Permute(p, base.PseudoLabels)) ||
+			!testkit.EqualFloats(perm.PseudoConfidence, testkit.Permute(p, base.PseudoConfidence)) {
+			pt.Errorf("pseudo outputs are not equivariant under target permutation")
+		}
+	})
+}
+
+// TestTransERBookkeepingOracle runs the differential oracle's full
+// bookkeeping check (stats vs outputs, probability and confidence
+// bounds, selected/high-confidence counts) on random domains and
+// random valid configurations.
+func TestTransERBookkeepingOracle(t *testing.T) {
+	testkit.Run(t, "core/bookkeeping-oracle", 10, func(pt *testkit.T) {
+		d := testkit.NewDomain(pt.Rng, pt.Size)
+		oracle.CheckTransER(pt, d, propFactory(), oracle.Config(pt.Rng))
+	})
+}
+
+// TestSelectionThresholdMonotone: raising t_c and t_l can only shrink
+// the selected set.
+func TestSelectionThresholdMonotone(t *testing.T) {
+	testkit.Run(t, "core/selection-threshold-monotone", 10, func(pt *testkit.T) {
+		d := testkit.NewDomain(pt.Rng, pt.Size)
+		loose := oracle.Config(pt.Rng)
+		strict := loose
+		strict.TC = loose.TC + pt.Rng.Float64()*(1-loose.TC)
+		strict.TL = loose.TL + pt.Rng.Float64()*(1-loose.TL)
+		oracle.CheckSelectionMonotone(pt, d, loose, strict)
+	})
+}
+
+// TestPseudoLabelThresholdSweep: the number of high-confidence pseudo
+// labels is non-increasing in t_p, because GEN itself is independent
+// of the threshold.
+func TestPseudoLabelThresholdSweep(t *testing.T) {
+	testkit.Run(t, "core/pseudo-label-sweep", 6, func(pt *testkit.T) {
+		d := testkit.NewDomain(pt.Rng, pt.Size)
+		cfg := propConfig()
+		oracle.CheckPseudoLabelSweep(pt, d, propFactory(), cfg,
+			[]float64{0.5, 0.7, 0.9, 0.95, 0.99})
+	})
+}

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzCSVDataset feeds arbitrary bytes to the CSV reader: it must
+// either reject the input with an error or return a valid database
+// that survives a write → read round trip unchanged.
+func FuzzCSVDataset(f *testing.F) {
+	f.Add([]byte("id,entity_id,name:name,year:year\nr1,e1,ada lovelace,1815\nr2,e1,ada king,1815\n"))
+	f.Add([]byte("id,entity_id\nr1,e1\n"))
+	f.Add([]byte("id,entity_id,desc:text\nr1,e1,\"quoted, with comma\"\n"))
+	f.Add([]byte("id,entity_id,a\nr1,e1,bare-attr-defaults-to-text\n"))
+	f.Add([]byte("not,a,database\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if verr := db.Validate(); verr != nil {
+			t.Fatalf("ReadCSV returned an invalid database: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, db); werr != nil {
+			t.Fatalf("WriteCSV on a parsed database: %v", werr)
+		}
+		again, rerr := ReadCSV(bytes.NewReader(buf.Bytes()), "fuzz")
+		if rerr != nil {
+			t.Fatalf("re-reading our own output: %v\noutput:\n%s", rerr, buf.Bytes())
+		}
+		if !reflect.DeepEqual(db, again) {
+			t.Fatalf("round trip changed the database:\nbefore %+v\nafter  %+v", db, again)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package eval_test
+
+// Property suite for the linkage quality measures, driven by
+// internal/testkit. Count identities (conservation, permutation
+// invariance) are exact; identities that compare two different
+// floating-point computations of the same algebraic quantity
+// (F* = F1/(2-F1), telescoping recall sums) use a tiny tolerance.
+
+import (
+	"math"
+	"testing"
+
+	"transer/internal/eval"
+	"transer/internal/testkit"
+)
+
+func randLabels(pt *testkit.T, n int) (pred, truth []int) {
+	pred = make([]int, n)
+	truth = make([]int, n)
+	for i := 0; i < n; i++ {
+		pred[i] = pt.Rng.Intn(2)
+		truth[i] = pt.Rng.Intn(2)
+	}
+	return pred, truth
+}
+
+// randProba draws probabilities from a coarse grid so PRCurve's
+// tie-grouping path is exercised on every trial.
+func randProba(pt *testkit.T, n int) []float64 {
+	proba := make([]float64, n)
+	for i := range proba {
+		proba[i] = float64(pt.Rng.Intn(11)) / 10
+	}
+	return proba
+}
+
+// TestConfusionConservationAndPermutation: the four confusion counts
+// partition the predictions, and jointly permuting (pred, truth)
+// leaves the counts unchanged.
+func TestConfusionConservationAndPermutation(t *testing.T) {
+	testkit.Run(t, "eval/confusion-conservation", 10, func(pt *testkit.T) {
+		n := pt.Size * 3
+		pred, truth := randLabels(pt, n)
+		c := eval.Confuse(pred, truth)
+		if c.TP+c.FP+c.FN+c.TN != n {
+			pt.Fatalf("confusion counts %+v do not sum to %d predictions", c, n)
+		}
+		p := testkit.Perm(pt.Rng, n)
+		if cp := eval.Confuse(testkit.Permute(p, pred), testkit.Permute(p, truth)); cp != c {
+			pt.Errorf("confusion changed under paired permutation: %+v vs %+v", c, cp)
+		}
+	})
+}
+
+// TestMetricBoundsAndFStarIdentity: all measures land in [0, 1], and
+// F* satisfies the paper's identity F* = F1 / (2 - F1).
+func TestMetricBoundsAndFStarIdentity(t *testing.T) {
+	testkit.Run(t, "eval/fstar-identity", 10, func(pt *testkit.T) {
+		pred, truth := randLabels(pt, pt.Size*3)
+		c := eval.Confuse(pred, truth)
+		for name, v := range map[string]float64{
+			"precision": c.Precision(), "recall": c.Recall(),
+			"f1": c.F1(), "fstar": c.FStar(),
+		} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				pt.Fatalf("%s = %v outside [0, 1] for %+v", name, v, c)
+			}
+		}
+		f1 := c.F1()
+		if want := f1 / (2 - f1); math.Abs(c.FStar()-want) > 1e-12 {
+			pt.Errorf("F* = %v, but F1/(2-F1) = %v for %+v", c.FStar(), want, c)
+		}
+	})
+}
+
+// TestPerfectPrediction: predicting the truth verbatim yields perfect
+// scores whenever a positive exists.
+func TestPerfectPrediction(t *testing.T) {
+	testkit.Run(t, "eval/perfect-prediction", 8, func(pt *testkit.T) {
+		truth := testkit.BinaryLabels(pt.Rng, pt.Size*2)
+		c := eval.Confuse(truth, truth)
+		if c.FP != 0 || c.FN != 0 {
+			pt.Fatalf("perfect prediction produced errors: %+v", c)
+		}
+		if c.Precision() != 1 || c.Recall() != 1 || c.F1() != 1 || c.FStar() != 1 {
+			pt.Errorf("perfect prediction scored P=%v R=%v F1=%v F*=%v",
+				c.Precision(), c.Recall(), c.F1(), c.FStar())
+		}
+	})
+}
+
+// TestAggregateOfProperties: the mean lies within [min, max], the
+// population std is non-negative, and constant inputs have (almost)
+// zero spread.
+func TestAggregateOfProperties(t *testing.T) {
+	testkit.Run(t, "eval/aggregate", 10, func(pt *testkit.T) {
+		n := pt.Size
+		vals := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vals {
+			vals[i] = pt.Rng.Float64() * 100
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		a := eval.AggregateOf(vals)
+		if a.Mean < lo-1e-9 || a.Mean > hi+1e-9 {
+			pt.Errorf("mean %v outside the data range [%v, %v]", a.Mean, lo, hi)
+		}
+		if a.Std < 0 {
+			pt.Errorf("negative standard deviation %v", a.Std)
+		}
+		constant := make([]float64, n)
+		for i := range constant {
+			constant[i] = vals[0]
+		}
+		if c := eval.AggregateOf(constant); math.Abs(c.Std) > 1e-9 || math.Abs(c.Mean-vals[0]) > 1e-9 {
+			pt.Errorf("constant data aggregated to %v ± %v, want %v ± 0", c.Mean, c.Std, vals[0])
+		}
+	})
+}
+
+// TestPRCurveShape: thresholds strictly decrease, recall is
+// non-decreasing and ends at exactly 1, and precision stays in [0, 1]
+// (0 occurs when the top-ranked prefix holds only negatives).
+func TestPRCurveShape(t *testing.T) {
+	testkit.Run(t, "eval/pr-curve-shape", 10, func(pt *testkit.T) {
+		n := pt.Size * 3
+		proba := randProba(pt, n)
+		truth := testkit.BinaryLabels(pt.Rng, n)
+		curve := eval.PRCurve(proba, truth)
+		if len(curve) == 0 {
+			pt.Fatalf("empty curve despite positives in the truth")
+		}
+		prevR, prevT := -1.0, math.Inf(1)
+		for i, p := range curve {
+			if p.Threshold >= prevT {
+				pt.Fatalf("thresholds not strictly decreasing at point %d: %v after %v", i, p.Threshold, prevT)
+			}
+			if p.Recall < prevR {
+				pt.Fatalf("recall fell from %v to %v at point %d", prevR, p.Recall, i)
+			}
+			if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 {
+				pt.Fatalf("point %d out of range: %+v", i, p)
+			}
+			prevR, prevT = p.Recall, p.Threshold
+		}
+		if last := curve[len(curve)-1].Recall; last != 1 {
+			pt.Errorf("curve ends at recall %v, want exactly 1", last)
+		}
+	})
+}
+
+// TestAveragePrecisionBoundsAndPerfectRanking: AP lands in [0, 1], and
+// a ranking that puts every positive above every negative scores 1.
+func TestAveragePrecisionBoundsAndPerfectRanking(t *testing.T) {
+	testkit.Run(t, "eval/average-precision", 10, func(pt *testkit.T) {
+		n := pt.Size * 3
+		proba := randProba(pt, n)
+		truth := testkit.BinaryLabels(pt.Rng, n)
+		ap := eval.AveragePrecision(proba, truth)
+		if math.IsNaN(ap) || ap < 0 || ap > 1+1e-12 {
+			pt.Fatalf("average precision %v outside [0, 1]", ap)
+		}
+		// Perfect ranking: positives in (0.5, 1], negatives in [0, 0.5).
+		perfect := make([]float64, n)
+		for i, y := range truth {
+			if y == 1 {
+				perfect[i] = 0.5 + 0.5*pt.Rng.Float64()
+			} else {
+				perfect[i] = 0.49 * pt.Rng.Float64()
+			}
+		}
+		if got := eval.AveragePrecision(perfect, truth); math.Abs(got-1) > 1e-9 {
+			pt.Errorf("perfect ranking scored AP = %v, want 1", got)
+		}
+	})
+}
+
+// TestBestFStarDominatesFixedThreshold: the tuned threshold cannot do
+// worse than the fixed 0.5 operating point used by the experiments.
+func TestBestFStarDominatesFixedThreshold(t *testing.T) {
+	testkit.Run(t, "eval/best-fstar", 10, func(pt *testkit.T) {
+		n := pt.Size * 3
+		proba := randProba(pt, n)
+		truth := testkit.BinaryLabels(pt.Rng, n)
+		_, best := eval.BestFStar(proba, truth)
+		pred := make([]int, n)
+		for i, p := range proba {
+			if p >= 0.5 {
+				pred[i] = 1
+			}
+		}
+		fixed := eval.Confuse(pred, truth).FStar()
+		if best+1e-9 < fixed {
+			pt.Errorf("tuned F* %v below the fixed-threshold F* %v", best, fixed)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package strutil
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets for the string comparators. The invariants are stated
+// over rune sequences because both functions decode their inputs as
+// UTF-8 first — two byte-distinct strings can share a rune sequence
+// once invalid bytes collapse to U+FFFD.
+
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("gonzalez", "gonzales")
+	f.Add("日本語", "日本")
+	f.Add("\xff\xfe", "a")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		d := Levenshtein(a, b)
+		if back := Levenshtein(b, a); back != d {
+			t.Fatalf("not symmetric: d(%q,%q)=%d but d(%q,%q)=%d", a, b, d, b, a, back)
+		}
+		la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		if d < lo || d > hi {
+			t.Fatalf("d(%q,%q)=%d outside [|la-lb|, max(la,lb)] = [%d, %d]", a, b, d, lo, hi)
+		}
+		if same := string([]rune(a)) == string([]rune(b)); (d == 0) != same {
+			t.Fatalf("d(%q,%q)=%d but rune equality is %v", a, b, d, same)
+		}
+	})
+}
+
+func FuzzJaroWinkler(f *testing.F) {
+	f.Add("martha", "marhta")
+	f.Add("", "")
+	f.Add("", "x")
+	f.Add("dwayne", "duane")
+	f.Add("müller", "mueller")
+	f.Add("\xff", "\xfe")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		s := JaroWinkler(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("JaroWinkler(%q,%q)=%v outside [0,1]", a, b, s)
+		}
+		if back := JaroWinkler(b, a); back != s {
+			t.Fatalf("not symmetric: %v vs %v for (%q,%q)", s, back, a, b)
+		}
+		if string([]rune(a)) == string([]rune(b)) && s != 1 {
+			t.Fatalf("JaroWinkler(%q,%q)=%v on rune-equal strings, want 1", a, b, s)
+		}
+	})
+}

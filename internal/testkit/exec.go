@@ -1,0 +1,56 @@
+package testkit
+
+// Helpers for smoke-testing main packages: build a binary with the
+// module's own toolchain, run it, and hand the combined output back to
+// the test for assertions. Kept in testkit so the cmd/ and examples/
+// suites share one implementation.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// BuildBinary compiles the main package at importPath into a temp
+// directory owned by tb and returns the binary path. Compilation
+// errors fail the test with the compiler output attached.
+func BuildBinary(tb testing.TB, importPath string) string {
+	tb.Helper()
+	bin := filepath.Join(tb.TempDir(), filepath.Base(importPath)+exeSuffix())
+	out, err := exec.Command("go", "build", "-o", bin, importPath).CombinedOutput()
+	if err != nil {
+		tb.Fatalf("go build %s: %v\n%s", importPath, err, out)
+	}
+	return bin
+}
+
+func exeSuffix() string {
+	if runtime.GOOS == "windows" {
+		return ".exe"
+	}
+	return ""
+}
+
+// RunBinary executes bin with args, failing tb unless it exits
+// cleanly, and returns the combined stdout+stderr output.
+func RunBinary(tb testing.TB, bin string, args ...string) string {
+	tb.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		tb.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// RunBinaryErr executes bin with args, failing tb unless it exits with
+// an error, and returns the combined output so the test can assert on
+// the diagnostic message.
+func RunBinaryErr(tb testing.TB, bin string, args ...string) string {
+	tb.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		tb.Fatalf("%s %v unexpectedly succeeded:\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}

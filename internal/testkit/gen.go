@@ -1,0 +1,201 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"transer/internal/dataset"
+)
+
+// Matrix generates an n×m feature matrix with continuous values drawn
+// uniformly from [0, 1]. Continuous entries make coordinate ties
+// between distinct rows a measure-zero event, which is the regime
+// where permutation relations on KNN-based code hold exactly.
+func Matrix(rng *rand.Rand, n, m int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// GridMatrix generates an n×m matrix sampled from the coarse value
+// grid {0, 0.2, ..., 1} with occasional -0.0 entries, the regime of
+// real linkage feature matrices: exact duplicate vectors occur
+// naturally, and signed zeros exercise bit-level encodings that must
+// treat -0.0 == +0.0 in feature space.
+func GridMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	grid := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			v := grid[rng.Intn(len(grid))]
+			if v == 0 && rng.Intn(2) == 0 {
+				v = math.Copysign(0, -1)
+			}
+			row[j] = v
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// BinaryLabels generates n labels in {0, 1} with both classes present
+// whenever n >= 2, so downstream classifiers never hit the
+// single-class fallback by generator accident.
+func BinaryLabels(rng *rand.Rand, n int) []int {
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(2)
+	}
+	if n >= 2 {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		y[i], y[j] = 0, 1
+	}
+	return y
+}
+
+// DuplicateRows overwrites roughly frac of the (row, label) pairs with
+// verbatim copies of earlier pairs — vector AND label together, so
+// duplicate vectors never carry conflicting labels by generator
+// accident (conflicting duplicates are a legitimate scenario, but one
+// a property must opt into, because KNN tie-breaking makes
+// label-conflicting ties order-sensitive).
+func DuplicateRows(rng *rand.Rand, x [][]float64, y []int, frac float64) {
+	n := len(x)
+	for k := 0; k < int(float64(n)*frac); k++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		x[dst] = x[src]
+		y[dst] = y[src]
+	}
+}
+
+// Domain is one feature-space transfer problem: a labelled source, an
+// unlabelled target, and the target's held-back ground truth.
+type Domain struct {
+	XS [][]float64
+	YS []int
+	XT [][]float64
+	YT []int
+}
+
+// NumFeatures returns the feature dimensionality m.
+func (d Domain) NumFeatures() int {
+	if len(d.XS) == 0 {
+		return 0
+	}
+	return len(d.XS[0])
+}
+
+// NewDomain generates a two-cluster transfer problem scaled by size:
+// class 1 centred at 0.8, class 0 at 0.2, with a random marginal shift
+// applied to the target — the distribution-shift shape transfer
+// methods are meant to survive. Rows are continuous (no exact ties).
+func NewDomain(rng *rand.Rand, size int) Domain {
+	nS := 6*size + 20
+	nT := 4*size + 20
+	m := 2 + rng.Intn(4)
+	shift := (rng.Float64() - 0.5) * 0.2
+	spread := 0.05 + rng.Float64()*0.08
+	gen := func(n int, offset float64) ([][]float64, []int) {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			label := i % 2
+			centre := 0.2
+			if label == 1 {
+				centre = 0.8
+			}
+			row := make([]float64, m)
+			for j := range row {
+				v := centre + offset + rng.NormFloat64()*spread
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				row[j] = v
+			}
+			x[i] = row
+			y[i] = label
+		}
+		return x, y
+	}
+	xs, ys := gen(nS, 0)
+	xt, yt := gen(nT, shift)
+	return Domain{XS: xs, YS: ys, XT: xt, YT: yt}
+}
+
+// testSchema is the fixed 3-attribute schema of generated databases.
+func testSchema() dataset.Schema {
+	return dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "name", Type: dataset.AttrName},
+		{Name: "desc", Type: dataset.AttrText},
+		{Name: "year", Type: dataset.AttrYear},
+	}}
+}
+
+// randWord draws a lowercase word of 3-9 letters.
+func randWord(rng *rand.Rand) string {
+	n := 3 + rng.Intn(7)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// corrupt applies light character-level noise to a value.
+func corrupt(rng *rand.Rand, s string) string {
+	if s == "" || rng.Float64() > 0.3 {
+		return s
+	}
+	b := []byte(s)
+	i := rng.Intn(len(b))
+	b[i] = byte('a' + rng.Intn(26))
+	return string(b)
+}
+
+// DatabasePair generates two small databases over a shared entity
+// universe of n entities: each entity appears on either side with
+// probability ~0.8, records on both sides are true matches, and the B
+// side carries light corruption. The pair feeds blocking/comparison/
+// labelling properties without the cost of the full datagen models.
+func DatabasePair(rng *rand.Rand, n int) (a, b *dataset.Database) {
+	sch := testSchema()
+	a = &dataset.Database{Name: "prop-A", Schema: sch}
+	b = &dataset.Database{Name: "prop-B", Schema: sch}
+	for i := 0; i < n; i++ {
+		vals := []string{
+			randWord(rng) + " " + randWord(rng),
+			randWord(rng) + " " + randWord(rng) + " " + randWord(rng),
+			fmt.Sprintf("%d", 1950+rng.Intn(70)),
+		}
+		id := fmt.Sprintf("e%d", i)
+		if rng.Float64() < 0.8 {
+			a.Records = append(a.Records, dataset.Record{
+				ID: "a-" + id, EntityID: id, Values: append([]string(nil), vals...),
+			})
+		}
+		if rng.Float64() < 0.8 {
+			bv := make([]string, len(vals))
+			for j, v := range vals {
+				bv[j] = corrupt(rng, v)
+			}
+			b.Records = append(b.Records, dataset.Record{
+				ID: "b-" + id, EntityID: id, Values: bv,
+			})
+		}
+	}
+	return a, b
+}

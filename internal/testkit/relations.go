@@ -1,0 +1,144 @@
+package testkit
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Relation is one metamorphic relation over a system under test: from
+// a generated source case, Transform derives a follow-up case whose
+// output must relate to the source output in a known way (equal up to
+// row relabelling, monotonically ordered, ...). Check receives both
+// cases and both outputs and asserts that relationship.
+type Relation[C, O any] struct {
+	// Name identifies the relation in failure reports.
+	Name string
+	// Generate draws a random source case of the given size.
+	Generate func(rng *rand.Rand, size int) C
+	// Transform derives the follow-up case. It must not mutate c.
+	Transform func(rng *rand.Rand, c C) C
+	// Run executes the system under test on one case.
+	Run func(c C) O
+	// Check asserts the metamorphic relationship.
+	Check func(t *T, source, followup C, out, followOut O)
+}
+
+// CheckRelation runs the relation for the given number of sized trials
+// through the property runner, so failures report a replayable
+// (seed, size) pair and shrink to the smallest failing size.
+func CheckRelation[C, O any](tb testing.TB, trials int, rel Relation[C, O]) {
+	tb.Helper()
+	Run(tb, rel.Name, trials, func(t *T) {
+		source := rel.Generate(t.Rng, t.Size)
+		followup := rel.Transform(t.Rng, source)
+		out := rel.Run(source)
+		followOut := rel.Run(followup)
+		rel.Check(t, source, followup, out, followOut)
+	})
+}
+
+// Perm draws a uniform random permutation of [0, n).
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// Permute reorders a slice by a permutation: out[i] = s[p[i]]. The
+// input is not modified.
+func Permute[E any](p []int, s []E) []E {
+	out := make([]E, len(p))
+	for i, j := range p {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// InvertPerm returns the inverse permutation: inv[p[i]] = i.
+func InvertPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for i, j := range p {
+		inv[j] = i
+	}
+	return inv
+}
+
+// MapIndices translates indices into a permuted slice back to indices
+// into the original slice (idx refers to positions of Permute(p, s);
+// the result refers to positions of s) and sorts them ascending, the
+// canonical order selection APIs return.
+func MapIndices(p []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = p[j]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScalePow2 scales every matrix entry by 2^k. Multiplication by a
+// power of two is exact in IEEE-754 (barring overflow/subnormals), so
+// value ordering, equality structure and midpoint thresholds are all
+// preserved bit-exactly — the transform under which scale-invariant
+// classifiers must produce identical predictions.
+func ScalePow2(x [][]float64, k int) [][]float64 {
+	f := math.Ldexp(1, k)
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v * f
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// CopyMatrix deep-copies a feature matrix.
+func CopyMatrix(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// EqualInts reports whether two int slices are identical.
+func EqualInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualFloats reports whether two float slices are bitwise identical
+// (NaN != NaN, matching the determinism contract of the stack: equal
+// inputs must produce equal — and NaN-free — outputs).
+func EqualFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RowsEqual reports whether two feature vectors are equal in feature
+// space (-0.0 == +0.0).
+func RowsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSubSeedDeterministicAndLabelSensitive(t *testing.T) {
+	if SubSeed(1, "a") != SubSeed(1, "a") {
+		t.Errorf("SubSeed not deterministic")
+	}
+	if SubSeed(1, "a") == SubSeed(1, "b") {
+		t.Errorf("distinct labels share a seed")
+	}
+	if SubSeed(1, "a") == SubSeed(2, "a") {
+		t.Errorf("distinct parents share a seed")
+	}
+}
+
+// TestRunCatchesViolation feeds the runner a property violated only at
+// sizes >= 10 and checks that it fails the outer test AND shrinks to
+// the smallest violating size. The runner is exercised against a probe
+// testing.TB so the deliberate failure does not fail this test.
+func TestRunCatchesViolation(t *testing.T) {
+	probe := &probeTB{TB: t}
+	Run(probe, "deliberate-violation", 12, func(pt *T) {
+		if pt.Size >= 10 {
+			pt.Errorf("size %d too big", pt.Size)
+		}
+	})
+	if !probe.failed {
+		t.Fatalf("runner missed a deliberate violation")
+	}
+	// Shrinking scans sizes upward from MinSize, so the report must
+	// pin the minimal violating size, 10.
+	if want := "size=10"; !contains(probe.msg, want) {
+		t.Errorf("failure not shrunk to minimal size: %q lacks %q", probe.msg, want)
+	}
+}
+
+func TestRunPassesValidProperty(t *testing.T) {
+	Run(t, "tautology", 8, func(pt *T) {
+		if pt.Size < MinSize || pt.Size > MaxSize {
+			pt.Errorf("size %d out of range", pt.Size)
+		}
+	})
+}
+
+func TestRunRecoversPanicAndFatalf(t *testing.T) {
+	probe := &probeTB{TB: t}
+	Run(probe, "panicky", 3, func(pt *T) { panic("boom") })
+	if !probe.failed || !contains(probe.msg, "boom") {
+		t.Errorf("panic not converted into a failure: %q", probe.msg)
+	}
+	probe2 := &probeTB{TB: t}
+	Run(probe2, "fatal", 3, func(pt *T) {
+		pt.Fatalf("stop here")
+		pt.Errorf("must be unreachable")
+	})
+	if !probe2.failed || contains(probe2.msg, "unreachable") {
+		t.Errorf("Fatalf did not abort the trial: %q", probe2.msg)
+	}
+}
+
+func TestTrialsAreReproducible(t *testing.T) {
+	seed := SubSeed(7, "repro")
+	a := runTrial(seed, 20, func(pt *T) { pt.Logf("%v", pt.Rng.Float64()) })
+	b := runTrial(seed, 20, func(pt *T) { pt.Logf("%v", pt.Rng.Float64()) })
+	if a.log[0] != b.log[0] {
+		t.Errorf("same seed drew different randomness: %v vs %v", a.log[0], b.log[0])
+	}
+}
+
+func TestBinaryLabelsBothClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		y := BinaryLabels(rng, 2+rng.Intn(30))
+		zeros, ones := 0, 0
+		for _, v := range y {
+			switch v {
+			case 0:
+				zeros++
+			case 1:
+				ones++
+			default:
+				t.Fatalf("non-binary label %d", v)
+			}
+		}
+		if zeros == 0 || ones == 0 {
+			t.Fatalf("labels %v missing a class", y)
+		}
+	}
+}
+
+func TestPermuteAndInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := []int{10, 11, 12, 13, 14, 15}
+	p := Perm(rng, len(s))
+	perm := Permute(p, s)
+	back := Permute(InvertPerm(p), perm)
+	if !EqualInts(s, back) {
+		t.Errorf("inverse permutation does not round-trip: %v -> %v -> %v", s, perm, back)
+	}
+}
+
+func TestMapIndices(t *testing.T) {
+	p := []int{2, 0, 1} // permuted[i] = orig[p[i]]
+	// Positions 0 and 2 of the permuted slice are originals 2 and 1.
+	got := MapIndices(p, []int{0, 2})
+	if !EqualInts(got, []int{1, 2}) {
+		t.Errorf("MapIndices = %v, want [1 2]", got)
+	}
+}
+
+func TestScalePow2Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := Matrix(rng, 10, 3)
+	up := ScalePow2(x, 3)
+	down := ScalePow2(up, -3)
+	for i := range x {
+		if !EqualFloats(x[i], down[i]) {
+			t.Fatalf("power-of-two scaling not exactly invertible at row %d", i)
+		}
+	}
+}
+
+func TestGridMatrixHasDuplicatesAndSignedZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := GridMatrix(rng, 200, 2)
+	negZero, dup := false, false
+	seen := map[[2]float64]bool{}
+	for _, row := range x {
+		if math.Signbit(row[0]) && row[0] == 0 || math.Signbit(row[1]) && row[1] == 0 {
+			negZero = true
+		}
+		k := [2]float64{row[0], row[1]}
+		if seen[k] {
+			dup = true
+		}
+		seen[k] = true
+	}
+	if !negZero || !dup {
+		t.Errorf("grid matrix missing its regimes: negZero=%v dup=%v", negZero, dup)
+	}
+}
+
+func TestNewDomainShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDomain(rng, 10)
+	if len(d.XS) != len(d.YS) || len(d.XT) != len(d.YT) {
+		t.Fatalf("misaligned domain: %d/%d source, %d/%d target",
+			len(d.XS), len(d.YS), len(d.XT), len(d.YT))
+	}
+	m := d.NumFeatures()
+	for _, x := range [][][]float64{d.XS, d.XT} {
+		for i, row := range x {
+			if len(row) != m {
+				t.Fatalf("ragged row %d", i)
+			}
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Fatalf("feature %v outside [0,1]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestDatabasePairGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b := DatabasePair(rng, 60)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("A side invalid: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("B side invalid: %v", err)
+	}
+	if !a.Schema.Equal(b.Schema) {
+		t.Fatalf("schemas differ")
+	}
+	if a.NumRecords() == 0 || b.NumRecords() == 0 {
+		t.Fatalf("degenerate pair: %d/%d records", a.NumRecords(), b.NumRecords())
+	}
+}
+
+// probeTB records the first Errorf call without failing the real test.
+type probeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (p *probeTB) Helper() {}
+func (p *probeTB) Errorf(format string, args ...interface{}) {
+	p.failed = true
+	if p.msg == "" {
+		p.msg = fmt.Sprintf(format, args...)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

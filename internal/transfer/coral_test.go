@@ -1,0 +1,49 @@
+package transfer
+
+import "testing"
+
+// accuracy computes the label agreement fraction against a truth
+// vector.
+func accuracy(labels, truth []int) float64 {
+	hits := 0
+	for i := range labels {
+		if labels[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(labels))
+}
+
+// TestCoralRidgeDefault: the zero Ridge value must behave exactly like
+// the documented default of 1.0.
+func TestCoralRidgeDefault(t *testing.T) {
+	task, _ := blobTask(120, 60, 0.08, 21)
+	zero, err := Coral{}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("Coral{}: %v", err)
+	}
+	one, err := Coral{Ridge: 1.0}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("Coral{Ridge:1}: %v", err)
+	}
+	for i := range zero.Proba {
+		if zero.Proba[i] != one.Proba[i] {
+			t.Fatalf("row %d: zero-value Ridge gives %v, explicit 1.0 gives %v",
+				i, zero.Proba[i], one.Proba[i])
+		}
+	}
+}
+
+// TestCoralIdenticalDomainsNearIdentity: when source and target share
+// a distribution the alignment is near-identity, so CORAL must still
+// solve the easy blob problem.
+func TestCoralIdenticalDomainsNearIdentity(t *testing.T) {
+	task, yt := blobTask(160, 80, 0, 22)
+	res, err := Coral{}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("Coral: %v", err)
+	}
+	if acc := accuracy(res.Labels, yt); acc < 0.9 {
+		t.Fatalf("accuracy %v on identical domains; near-identity alignment expected >= 0.9", acc)
+	}
+}

@@ -1,0 +1,36 @@
+package transfer
+
+import "testing"
+
+// TestLocITIdenticalDomains: when the source sits exactly on the
+// target distribution, LocIT's locality test should accept enough
+// instances to solve the easy blob problem.
+func TestLocITIdenticalDomains(t *testing.T) {
+	task, yt := blobTask(160, 80, 0, 51)
+	res, err := LocIT{Seed: 1}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("LocIT: %v", err)
+	}
+	if acc := accuracy(res.Labels, yt); acc < 0.8 {
+		t.Fatalf("accuracy %v on identical domains; want >= 0.8", acc)
+	}
+}
+
+// TestLocITTrainPointCapKeepsShape: a tight MaxTrainPoints budget must
+// bound the work without breaking the output contract — even when the
+// selection collapses to the all-non-match result.
+func TestLocITTrainPointCapKeepsShape(t *testing.T) {
+	task, _ := blobTask(100, 60, 0.2, 52)
+	res, err := LocIT{MaxTrainPoints: 10, Seed: 3}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("LocIT with 10 train points: %v", err)
+	}
+	if len(res.Labels) != len(task.XT) || len(res.Proba) != len(task.XT) {
+		t.Fatalf("output sizes %d/%d for %d target rows", len(res.Labels), len(res.Proba), len(task.XT))
+	}
+	for i, p := range res.Proba {
+		if p < 0 || p > 1 {
+			t.Fatalf("row %d: probability %v outside [0,1]", i, p)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package transfer
+
+import "testing"
+
+// TestNaiveMatchesDirectClassifier: Naive is exactly "train on the
+// source, predict the target" — its probabilities must be bitwise
+// identical to driving the classifier by hand.
+func TestNaiveMatchesDirectClassifier(t *testing.T) {
+	task, _ := blobTask(120, 60, 0.05, 11)
+	res, err := Naive{}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("Naive: %v", err)
+	}
+	clf := factory()()
+	if err := clf.Fit(task.XS, task.YS); err != nil {
+		t.Fatalf("direct fit: %v", err)
+	}
+	want := clf.PredictProba(task.XT)
+	for i := range want {
+		if res.Proba[i] != want[i] {
+			t.Fatalf("row %d: Naive proba %v, direct classifier %v", i, res.Proba[i], want[i])
+		}
+	}
+}
+
+// TestNaiveSingleClassSource: a single-class source must fall back to
+// the constant classifier predicting that class, not error out.
+func TestNaiveSingleClassSource(t *testing.T) {
+	task, _ := blobTask(40, 20, 0, 12)
+	for i := range task.YS {
+		task.YS[i] = 1
+	}
+	res, err := Naive{}.Run(task, factory())
+	if err != nil {
+		t.Fatalf("Naive on single-class source: %v", err)
+	}
+	for i, p := range res.Proba {
+		if p != 1 {
+			t.Fatalf("row %d: proba %v, want constant 1 for all-match source", i, p)
+		}
+	}
+}

@@ -86,6 +86,10 @@ func (c TCA) Run(t *Task, factory ml.Factory) (*Result, error) {
 	if nS == 0 || nT == 0 {
 		return nil, fmt.Errorf("tca: degenerate landmark split (%d source, %d target)", nS, nT)
 	}
+	if comp > n {
+		// The eigenproblem is n×n, so at most n components exist.
+		comp = n
+	}
 
 	// Kernel matrix over landmarks.
 	k := linalg.NewMatrix(n, n)
