@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,22 @@ bench:
 # Full-scale regeneration of every table and figure.
 experiments:
 	$(GO) run ./cmd/experiments -exp all
+
+# Machine-readable run report for one experiment (spans + metrics, see
+# DESIGN.md §8). Override EXP/SCALE to profile a different workload:
+#   make report EXP=table2 SCALE=0.5
+EXP ?= table1
+SCALE ?= 0.05
+report:
+	$(GO) run ./cmd/experiments -exp $(EXP) -scale $(SCALE) -metrics-out report-$(EXP).json
+	@echo "wrote report-$(EXP).json"
+
+# CPU/heap profiles plus an execution trace for one experiment; inspect
+# with `go tool pprof cpu-$(EXP).out` / `go tool trace trace-$(EXP).out`.
+profile:
+	$(GO) run ./cmd/experiments -exp $(EXP) -scale $(SCALE) \
+		-cpuprofile cpu-$(EXP).out -memprofile mem-$(EXP).out -exectrace trace-$(EXP).out
+	@echo "wrote cpu-$(EXP).out mem-$(EXP).out trace-$(EXP).out"
 
 # Bounded fuzzing smoke: each native fuzz target runs for a short,
 # fixed budget on top of its checked-in seed corpus (testdata/fuzz).

@@ -1,0 +1,127 @@
+// Command benchreport condenses transer.obs.report/v1 run reports
+// (the -metrics-out output of cmd/experiments and friends) into the
+// BENCH_*.json perf-trajectory format: per-phase wall-time totals per
+// run, ready to diff across commits.
+//
+// Usage:
+//
+//	experiments -exp table2 -scale 0.5 -workers 1 -metrics-out w1.json
+//	experiments -exp table2 -scale 0.5 -workers 0 -metrics-out wN.json
+//	benchreport -note "host: ..." w1.json wN.json > BENCH_table2.json
+//
+// For every report, the tool walks the span tree and sums durations by
+// phase: the TransER phases (sel, gen, tcl and their fit/predict
+// children) and the pipeline stages (generate, block, compare, label;
+// stage spans are named "stage:dataset@scale", aggregated by stage).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"transer/internal/obs"
+)
+
+// BenchSchemaVersion identifies the summary format.
+const BenchSchemaVersion = "transer.obs.bench/v1"
+
+// Bench is the checked-in BENCH_*.json document.
+type Bench struct {
+	Schema string     `json:"schema"`
+	Note   string     `json:"note,omitempty"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// BenchRun summarises one run report.
+type BenchRun struct {
+	Args       []string         `json:"args,omitempty"`
+	GoVersion  string           `json:"go_version"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	WallMS     float64          `json:"wall_ms"`
+	Cells      int              `json:"cells"`
+	Phases     map[string]Phase `json:"phases"`
+}
+
+// Phase is the aggregate over every span of one phase.
+type Phase struct {
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// phases lists the span names aggregated into the summary; pipeline
+// stage spans carry a ":dataset@scale" suffix stripped by baseName.
+var phases = map[string]bool{
+	"sel": true, "gen": true, "tcl": true,
+	"fit": true, "predict": true,
+	"generate": true, "block": true, "compare": true, "label": true,
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Summarize condenses one validated report into a BenchRun.
+func Summarize(r *obs.Report) BenchRun {
+	run := BenchRun{
+		Args:       r.Args,
+		GoVersion:  r.GoVersion,
+		NumCPU:     r.NumCPU,
+		GOMAXPROCS: r.GOMAXPROCS,
+		WallMS:     r.WallMS,
+		Phases:     map[string]Phase{},
+	}
+	r.Span.Walk(func(n *obs.SpanNode) {
+		base := baseName(n.Name)
+		if base == "cell" {
+			run.Cells++
+		}
+		if !phases[base] {
+			return
+		}
+		p := run.Phases[base]
+		p.Count++
+		p.TotalMS += n.DurMS
+		run.Phases[base] = p
+	})
+	return run
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	note := flag.String("note", "", "free-form capture-environment note embedded in the summary")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: benchreport [-note ...] report.json...")
+	}
+	bench := Bench{Schema: BenchSchemaVersion, Note: *note}
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		r, err := obs.ValidateReportBytes(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		bench.Runs = append(bench.Runs, Summarize(r))
+	}
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(out))
+	return err
+}

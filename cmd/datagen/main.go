@@ -5,9 +5,13 @@
 //
 //	datagen -out ./data -scale 0.5            # all seven data sets
 //	datagen -out ./data -dataset mb -scale 1  # one data set
+//	datagen -out ./data -metrics-out report.json
 //
 // Each data set produces two CSVs (the A and B databases); record rows
-// carry the ground-truth entity id in the second column.
+// carry the ground-truth entity id in the second column. -metrics-out
+// writes a transer.obs.report/v1 JSON run report with one
+// generate/write span and record/match counters per data set;
+// -cpuprofile, -memprofile and -exectrace capture runtime profiles.
 package main
 
 import (
@@ -19,13 +23,25 @@ import (
 
 	"transer/internal/datagen"
 	"transer/internal/dataset"
+	"transer/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		out   = flag.String("out", ".", "output directory")
-		name  = flag.String("dataset", "all", "dataset: dblp-acm|dblp-scholar|msd|mb|ios-bpdp|kil-bpdp|ios-bpbp|kil-bpbp|all")
-		scale = flag.Float64("scale", 0.5, "size scale factor")
+		out        = flag.String("out", ".", "output directory")
+		name       = flag.String("dataset", "all", "dataset: dblp-acm|dblp-scholar|msd|mb|ios-bpdp|kil-bpdp|ios-bpbp|kil-bpbp|all")
+		scale      = flag.Float64("scale", 0.5, "size scale factor")
+		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to `file`")
 	)
 	flag.Parse()
 
@@ -40,7 +56,7 @@ func main() {
 		"kil-bpbp":     datagen.KILBpBp,
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	var names []string
 	if *name == "all" {
@@ -50,22 +66,46 @@ func main() {
 	} else if _, ok := gens[*name]; ok {
 		names = []string{*name}
 	} else {
-		fatal(fmt.Errorf("unknown dataset %q", *name))
+		return fmt.Errorf("unknown dataset %q", *name)
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+		}
+	}()
+	tr := obs.New("datagen")
+	records := tr.Metrics().Counter("datagen.records_total")
+	matches := tr.Metrics().Counter("datagen.matches_total")
+
 	for _, n := range names {
+		sp := tr.Root().Child(fmt.Sprintf("generate:%s@%.2f", n, *scale))
 		pair := gens[n](*scale)
 		for side, db := range map[string]*dataset.Database{"a": pair.A, "b": pair.B} {
 			path := filepath.Join(*out, fmt.Sprintf("%s-%s.csv", strings.ToLower(n), side))
 			if err := dataset.WriteCSVFile(path, db); err != nil {
-				fatal(err)
+				return err
 			}
+			records.Add(int64(db.NumRecords()))
+			sp.SetInt("records_"+side, int64(db.NumRecords()))
 			fmt.Printf("wrote %s (%d records)\n", path, db.NumRecords())
 		}
-		fmt.Printf("%s: %d true matches\n", pair.Name, len(pair.Truth()))
+		truth := len(pair.Truth())
+		matches.Add(int64(truth))
+		sp.SetInt("matches", int64(truth))
+		sp.End()
+		fmt.Printf("%s: %d true matches\n", pair.Name, truth)
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "datagen:", err)
-	os.Exit(1)
+	if *metricsOut != "" {
+		report := obs.BuildReport("datagen", os.Args[1:], tr)
+		if err := report.WriteFile(*metricsOut); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"transer/internal/dataset"
+	"transer/internal/obs"
 	"transer/internal/testkit"
 )
 
@@ -50,5 +52,35 @@ func TestDatagenUsageListsFlags(t *testing.T) {
 		if !strings.Contains(string(out), flag) {
 			t.Fatalf("usage output lacks %s:\n%s", flag, out)
 		}
+	}
+}
+
+// TestDatagenMetricsReport validates the run report: one generate span
+// per data set with record counts, plus the record/match counters.
+func TestDatagenMetricsReport(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/datagen")
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	testkit.RunBinary(t, bin, "-dataset", "mb", "-scale", "0.05", "-out", dir,
+		"-metrics-out", report)
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	r, err := obs.ValidateReportBytes(b)
+	if err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	gen := r.Span.Find("generate:mb@0.05")
+	if gen == nil {
+		t.Fatalf("report lacks the generate span; tree: %+v", r.Span)
+	}
+	for _, attr := range []string{"records_a", "records_b", "matches"} {
+		if _, ok := gen.Attrs[attr]; !ok {
+			t.Errorf("generate span lacks the %s attribute: %v", attr, gen.Attrs)
+		}
+	}
+	if r.Metrics.Counters["datagen.records_total"] == 0 {
+		t.Errorf("record counter missing: %v", r.Metrics.Counters)
 	}
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"transer/internal/obs"
+	"transer/internal/testkit"
+)
+
+// TestExperimentsMetricsReport is the report verifier CI runs: a real
+// miniature experiment must emit a schema-valid transer.obs.report/v1
+// document carrying the span hierarchy and store counters the rest of
+// the tooling (BENCH_*.json extraction) depends on.
+func TestExperimentsMetricsReport(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/experiments")
+	path := filepath.Join(t.TempDir(), "report.json")
+	testkit.RunBinary(t, bin,
+		"-exp", "table1", "-scale", "0.05", "-seed", "1",
+		"-skip-slow", "-workers", "2", "-metrics-out", path)
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	r, err := obs.ValidateReportBytes(b)
+	if err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	if r.Command != "experiments" {
+		t.Errorf("command = %q", r.Command)
+	}
+	if r.WallMS <= 0 {
+		t.Errorf("wall_ms = %v", r.WallMS)
+	}
+	if r.Span.Find("experiment:table1") == nil {
+		t.Errorf("report lacks the experiment span")
+	}
+	if r.Span.Find("pipeline") == nil {
+		t.Errorf("report lacks the pipeline stage group span")
+	}
+	if r.Metrics.Counters["pipeline.store.misses_total"] == 0 {
+		t.Errorf("store miss counter missing: %v", r.Metrics.Counters)
+	}
+	if _, ok := r.Metrics.Histograms["parallel.queue_wait_seconds"]; !ok {
+		t.Errorf("parallel queue-wait histogram missing: have %v", keys(r.Metrics.Histograms))
+	}
+	if _, ok := r.Metrics.Gauges["parallel.tasks_total"]; !ok {
+		t.Errorf("parallel stats gauges missing: have %v", keys(r.Metrics.Gauges))
+	}
+}
+
+// TestExperimentsTable2ReportPhases is the acceptance check for the
+// TransER phase spans: a table2 run's report must carry sel/gen/tcl
+// under every cell, plus the store counters and pool histograms.
+func TestExperimentsTable2ReportPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("method grid too slow for -short")
+	}
+	bin := testkit.BuildBinary(t, "transer/cmd/experiments")
+	path := filepath.Join(t.TempDir(), "report.json")
+	testkit.RunBinary(t, bin,
+		"-exp", "table2", "-scale", "0.04", "-seed", "1",
+		"-skip-slow", "-workers", "2", "-metrics-out", path)
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	r, err := obs.ValidateReportBytes(b)
+	if err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	exp := r.Span.Find("experiment:table2")
+	if exp == nil {
+		t.Fatalf("report lacks the experiment:table2 span")
+	}
+	for _, phase := range []string{"sel", "gen", "tcl"} {
+		if exp.Find(phase) == nil {
+			t.Errorf("report lacks the %s phase span", phase)
+		}
+	}
+	if r.Metrics.Counters["pipeline.store.hits_total"]+
+		r.Metrics.Counters["pipeline.store.misses_total"] == 0 {
+		t.Errorf("store hit/miss counters missing: %v", r.Metrics.Counters)
+	}
+	if h := r.Metrics.Histograms["parallel.queue_wait_seconds"]; h.Count == 0 {
+		t.Errorf("parallel queue-wait histogram empty: have %v", keys(r.Metrics.Histograms))
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

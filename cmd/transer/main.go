@@ -6,12 +6,18 @@
 //
 //	transer -source-a s1.csv -source-b s2.csv \
 //	        -target-a t1.csv -target-b t2.csv \
-//	        -out matches.csv [-tc 0.9] [-tl 0.9] [-tp 0.9] [-k 7] [-b 3]
+//	        -out matches.csv [-tc 0.9] [-tl 0.9] [-tp 0.9] [-k 7] [-b 3] \
+//	        [-metrics-out report.json] [-cpuprofile cpu.pprof] \
+//	        [-memprofile mem.pprof] [-exectrace trace.out]
 //
 // The CSVs use the format produced by cmd/datagen (header
 // "id,entity_id,<attr:type>,..."). The source databases must carry
 // entity ids (they provide the training labels); target entity ids,
 // when present, are used only to print evaluation measures.
+//
+// -metrics-out writes a transer.obs.report/v1 JSON run report with
+// spans for the source/target domain builds and the TransER run
+// (SEL/GEN/TCL phases with classifier fit/predict children).
 package main
 
 import (
@@ -21,46 +27,84 @@ import (
 
 	transer "transer"
 	"transer/internal/dataset"
+	"transer/internal/obs"
+	"transer/internal/parallel"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "transer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		srcA = flag.String("source-a", "", "source domain database A (CSV)")
-		srcB = flag.String("source-b", "", "source domain database B (CSV)")
-		tgtA = flag.String("target-a", "", "target domain database A (CSV)")
-		tgtB = flag.String("target-b", "", "target domain database B (CSV)")
-		out  = flag.String("out", "", "output CSV of predicted matches (default stdout)")
-		tc   = flag.Float64("tc", 0.9, "instance confidence threshold t_c")
-		tl   = flag.Float64("tl", 0.9, "structural similarity threshold t_l")
-		tp   = flag.Float64("tp", 0.9, "pseudo label confidence threshold t_p")
-		k    = flag.Int("k", 7, "neighbourhood size")
-		b    = flag.Float64("b", 3, "non-match : match balance ratio")
+		srcA       = flag.String("source-a", "", "source domain database A (CSV)")
+		srcB       = flag.String("source-b", "", "source domain database B (CSV)")
+		tgtA       = flag.String("target-a", "", "target domain database A (CSV)")
+		tgtB       = flag.String("target-b", "", "target domain database B (CSV)")
+		out        = flag.String("out", "", "output CSV of predicted matches (default stdout)")
+		tc         = flag.Float64("tc", 0.9, "instance confidence threshold t_c")
+		tl         = flag.Float64("tl", 0.9, "structural similarity threshold t_l")
+		tp         = flag.Float64("tp", 0.9, "pseudo label confidence threshold t_p")
+		k          = flag.Int("k", 7, "neighbourhood size")
+		b          = flag.Float64("b", 3, "non-match : match balance ratio")
+		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to `file`")
 	)
 	flag.Parse()
 	for _, req := range []struct{ name, v string }{
 		{"-source-a", *srcA}, {"-source-b", *srcB}, {"-target-a", *tgtA}, {"-target-b", *tgtB},
 	} {
 		if req.v == "" {
-			fatal(fmt.Errorf("missing required flag %s", req.name))
+			return fmt.Errorf("missing required flag %s", req.name)
 		}
 	}
 
-	load := func(path, name string) *transer.Database {
-		db, err := dataset.ReadCSVFile(path, name)
-		if err != nil {
-			fatal(err)
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "transer:", err)
 		}
-		return db
+	}()
+	tr := obs.New("transer")
+	parallel.RegisterMetrics(tr.Metrics())
+	defer parallel.RegisterMetrics(nil)
+
+	load := func(path, name string) (*transer.Database, error) {
+		return dataset.ReadCSVFile(path, name)
 	}
-	source, err := transer.NewDomain(load(*srcA, "source-a"), load(*srcB, "source-b"),
-		transer.WithName("source"))
-	if err != nil {
-		fatal(err)
+	buildDomain := func(role, pathA, pathB string) (*transer.Domain, error) {
+		sp := tr.Root().Child("build:" + role)
+		defer sp.End()
+		a, err := load(pathA, role+"-a")
+		if err != nil {
+			return nil, err
+		}
+		b, err := load(pathB, role+"-b")
+		if err != nil {
+			return nil, err
+		}
+		d, err := transer.NewDomain(a, b, transer.WithName(role))
+		if err != nil {
+			return nil, err
+		}
+		sp.SetInt("candidate_pairs", int64(d.NumPairs()))
+		return d, nil
 	}
-	target, err := transer.NewDomain(load(*tgtA, "target-a"), load(*tgtB, "target-b"),
-		transer.WithName("target"))
+	source, err := buildDomain("source", *srcA, *srcB)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	target, err := buildDomain("target", *tgtA, *tgtB)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "source: %d candidate pairs (%.1f%% labelled matches)\n",
 		source.NumPairs(), 100*source.MatchFraction())
@@ -68,9 +112,12 @@ func main() {
 
 	cfg := transer.DefaultConfig()
 	cfg.TC, cfg.TL, cfg.TP, cfg.K, cfg.B = *tc, *tl, *tp, *k, *b
+	runSpan := tr.Root().Child("transfer")
+	cfg.Obs = runSpan
 	res, err := transer.Transfer(source, target, transer.WithConfig(cfg))
+	runSpan.End()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := res.Stats
 	fmt.Fprintf(os.Stderr, "SEL kept %d/%d, GEN confident %d, TCL trained %d\n",
@@ -85,7 +132,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -97,9 +144,13 @@ func main() {
 				target.A.Records[p.A].ID, target.B.Records[p.B].ID, res.Proba[i])
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "transer:", err)
-	os.Exit(1)
+	if *metricsOut != "" {
+		parallel.PublishStats(tr.Metrics())
+		report := obs.BuildReport("transer", os.Args[1:], tr)
+		if err := report.WriteFile(*metricsOut); err != nil {
+			return err
+		}
+	}
+	return nil
 }

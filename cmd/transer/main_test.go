@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"transer/internal/obs"
 	"transer/internal/testkit"
 )
 
@@ -67,5 +68,46 @@ func TestTranserEndToEnd(t *testing.T) {
 		if fields := strings.Split(line, ","); len(fields) != 3 {
 			t.Fatalf("malformed match row %q", line)
 		}
+	}
+}
+
+// TestTranserMetricsReport runs the same miniature task with
+// -metrics-out and validates the emitted report: the transfer span
+// must carry the TransER phases with their fit/predict children.
+func TestTranserMetricsReport(t *testing.T) {
+	datagen := testkit.BuildBinary(t, "transer/cmd/datagen")
+	bin := testkit.BuildBinary(t, "transer/cmd/transer")
+	dir := t.TempDir()
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-acm", "-scale", "0.1", "-out", dir)
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-scholar", "-scale", "0.1", "-out", dir)
+
+	report := filepath.Join(dir, "report.json")
+	testkit.RunBinary(t, bin,
+		"-source-a", filepath.Join(dir, "dblp-acm-a.csv"),
+		"-source-b", filepath.Join(dir, "dblp-acm-b.csv"),
+		"-target-a", filepath.Join(dir, "dblp-scholar-a.csv"),
+		"-target-b", filepath.Join(dir, "dblp-scholar-b.csv"),
+		"-out", filepath.Join(dir, "matches.csv"),
+		"-metrics-out", report)
+
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	r, err := obs.ValidateReportBytes(b)
+	if err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	transfer := r.Span.Find("transfer")
+	if transfer == nil {
+		t.Fatalf("report lacks the transfer span")
+	}
+	for _, phase := range []string{"sel", "gen", "tcl"} {
+		if transfer.Find(phase) == nil {
+			t.Errorf("report lacks the %s phase span", phase)
+		}
+	}
+	if r.Span.Find("build:source") == nil || r.Span.Find("build:target") == nil {
+		t.Errorf("report lacks the domain build spans")
 	}
 }

@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"transer/internal/obs"
 )
 
 // Config holds TransER's hyper-parameters and ablation switches. The
@@ -40,6 +42,12 @@ type Config struct {
 	// TCL batch prediction; 0 means one per CPU, 1 forces serial
 	// execution. Results are identical for every worker count.
 	Workers int
+
+	// Obs, when non-nil, is the parent span under which Run records
+	// its SEL/GEN/TCL phase spans (with classifier fit/predict
+	// children) and selection/pseudo-label statistics. Purely
+	// observational: results are bitwise identical with or without it.
+	Obs *obs.Span
 
 	// Ablation switches (paper Table 4). All false by default.
 

@@ -43,8 +43,11 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 		SourceInstances: len(xs),
 		TargetInstances: len(xt),
 	}}
+	cfg.Obs.SetInt("source_instances", int64(len(xs)))
+	cfg.Obs.SetInt("target_instances", int64(len(xt)))
 
 	// Phase (i): instance selector — lines 1-9 of Algorithm 1.
+	selSpan := cfg.Obs.Child("sel")
 	selStart := time.Now()
 	selected := SelectInstances(xs, ys, xt, cfg)
 	if len(selected) == 0 || singleClass(ys, selected) {
@@ -65,20 +68,30 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	}
 	res.Stats.Selected = len(xu)
 	res.Stats.SelTime = time.Since(selStart)
+	selSpan.SetInt("selected", int64(res.Stats.Selected))
+	selSpan.SetBool("fallback", res.Stats.SelectedFallback)
+	selSpan.End()
 
 	// Phase (ii): pseudo label generator — lines 10-11.
+	genSpan := cfg.Obs.Child("gen")
 	genStart := time.Now()
+	fitSpan := genSpan.Child("fit")
 	cu, err := ml.FitWithFallback(factory, xu, yu)
+	fitSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: GEN training failed: %w", err)
 	}
+	predictSpan := genSpan.Child("predict")
 	proba := ml.ParallelProba(cu, xt, cfg.Workers)
+	predictSpan.End()
 	res.PseudoLabels = ml.Labels(proba, 0.5)
 	res.PseudoConfidence = make([]float64, len(proba))
 	for i, p := range proba {
 		res.PseudoConfidence[i] = ml.Confidence(p)
 	}
 	res.Stats.GenTime = time.Since(genStart)
+	genSpan.SetInt("pseudo_labels", int64(len(res.PseudoLabels)))
+	genSpan.End()
 
 	if cfg.DisableGENTCL {
 		// Ablation "without GEN & TCL": classify the target directly
@@ -89,6 +102,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	}
 
 	// Phase (iii): target domain classifier — lines 12-20.
+	tclSpan := cfg.Obs.Child("tcl")
 	tclStart := time.Now()
 	var xv [][]float64
 	var yv []int
@@ -99,6 +113,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 		}
 	}
 	res.Stats.HighConfidence = len(xv)
+	tclSpan.SetInt("pseudo_kept", int64(len(xv)))
 
 	// A usable TCL training set needs both classes and enough rows for
 	// the classifier to generalise; otherwise GEN's predictions are the
@@ -112,18 +127,26 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 		res.Proba = proba
 		res.Stats.TCLFallback = true
 		res.Stats.TclTime = time.Since(tclStart)
+		tclSpan.SetBool("fallback", true)
+		tclSpan.End()
 		return res, nil
 	}
 
 	res.Stats.BalancedTrain = len(xvb)
+	tclSpan.SetInt("balanced_train", int64(len(xvb)))
+	fitSpan = tclSpan.Child("fit")
 	cv, err := ml.FitWithFallback(factory, xvb, yvb)
+	fitSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: TCL training failed: %w", err)
 	}
+	predictSpan = tclSpan.Child("predict")
 	finalProba := ml.ParallelProba(cv, xt, cfg.Workers)
+	predictSpan.End()
 	res.Labels = ml.Labels(finalProba, 0.5)
 	res.Proba = finalProba
 	res.Stats.TclTime = time.Since(tclStart)
+	tclSpan.End()
 	return res, nil
 }
 

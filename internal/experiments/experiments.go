@@ -20,6 +20,7 @@ import (
 	"transer/internal/ml/logreg"
 	"transer/internal/ml/svm"
 	"transer/internal/ml/tree"
+	"transer/internal/obs"
 	"transer/internal/pipeline"
 	"transer/internal/sampling"
 	"transer/internal/transfer"
@@ -54,6 +55,16 @@ type Options struct {
 	// Cached artifacts are byte-identical to rebuilt ones, so results
 	// never depend on the store's temperature or hit order.
 	Store *pipeline.Store
+	// Obs, when non-nil, records hierarchical spans (experiment →
+	// grid cell → classifier → TransER phase) and metrics for the run.
+	// Instrumentation is purely observational: every rendered byte is
+	// identical with Obs set or nil, and the nil path costs nothing.
+	Obs *obs.Tracer
+
+	// span is the experiment-level span cell spans attach to, set by
+	// RunExperiment; direct experiment calls fall back to the tracer
+	// root.
+	span *obs.Span
 }
 
 // store resolves the artifact store an experiment call uses.
@@ -61,7 +72,17 @@ func (o Options) store() *pipeline.Store {
 	if o.Store != nil {
 		return o.Store
 	}
-	return pipeline.NewStore()
+	st := pipeline.NewStore()
+	st.Instrument(o.Obs)
+	return st
+}
+
+// parentSpan resolves the span grid cells nest under.
+func (o Options) parentSpan() *obs.Span {
+	if o.span != nil {
+		return o.span
+	}
+	return o.Obs.Root()
 }
 
 func (o Options) withDefaults() Options {
@@ -168,13 +189,22 @@ func agg(a eval.Aggregate) string {
 	return fmt.Sprintf("%.2f ± %.2f", a.Mean, a.Std)
 }
 
-// evaluateMethod runs one method over the classifier set and
-// aggregates quality and runtime.
-func evaluateMethod(m transfer.Method, bt builtTask, classifiers []ml.Named) (eval.MetricsAggregate, time.Duration, error) {
+// evaluateMethod runs one method over the classifier set under the
+// given cell span (nil when tracing is off) and aggregates quality and
+// runtime. Each classifier run gets a child span; TransER runs
+// additionally record their SEL/GEN/TCL phases under it.
+func evaluateMethod(m transfer.Method, bt builtTask, classifiers []ml.Named, sp *obs.Span) (eval.MetricsAggregate, time.Duration, error) {
 	var runs []eval.Metrics
 	start := time.Now()
 	for _, c := range classifiers {
-		res, err := m.Run(bt.task, c.New)
+		cs := sp.Child("classifier:" + c.Name)
+		run := m
+		if te, ok := m.(transfer.TransER); ok {
+			te.Config.Obs = cs
+			run = te
+		}
+		res, err := run.Run(bt.task, c.New)
+		cs.End()
 		if err != nil {
 			return eval.MetricsAggregate{}, 0, fmt.Errorf("%s with %s on %s: %w", m.Name(), c.Name, bt.name, err)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // Names returns the experiment names RenderExperiment accepts, in the
@@ -26,6 +27,27 @@ func HeadName(name string) string {
 // the only non-deterministic part of the command's output. The golden
 // tests diff this text against the checked-in *_output.txt files.
 func RenderExperiment(w io.Writer, name string, opts Options) error {
+	_, err := RunExperiment(w, name, opts)
+	return err
+}
+
+// RunExperiment renders one experiment under an "experiment:<name>"
+// span of opts.Obs and reports the span-derived wall time (measured
+// directly when tracing is off). cmd/experiments prints its per-
+// experiment timing lines from this duration.
+func RunExperiment(w io.Writer, name string, opts Options) (time.Duration, error) {
+	sp := opts.Obs.Root().Child("experiment:" + name)
+	opts.span = sp
+	start := time.Now()
+	err := renderExperiment(w, name, opts)
+	sp.End()
+	if sp != nil {
+		return sp.Duration(), err
+	}
+	return time.Since(start), err
+}
+
+func renderExperiment(w io.Writer, name string, opts Options) error {
 	fmt.Fprintf(w, "== %s (scale %.2f) ==\n", HeadName(name), scaleOf(opts))
 	switch name {
 	case "table1":

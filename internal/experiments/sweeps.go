@@ -29,13 +29,16 @@ func Figure6(opts Options) ([]SweepRow, error) {
 	fracs := []float64{0.25, 0.5, 0.75, 1.0}
 	out := make([]SweepRow, len(built)*len(fracs))
 	errs := make([]error, len(out))
+	expSpan := opts.parentSpan()
 	parallel.ForEach(opts.Workers, len(out), func(cell int) {
 		bt := built[cell/len(fracs)]
 		frac := fracs[cell%len(fracs)]
 		sub := labelFractionTask(bt, frac, opts.Seed+int64(frac*100))
 		cfg := core.DefaultConfig()
 		cfg.Workers = opts.Workers
-		q, _, err := evaluateMethod(transERMethod(cfg), sub, opts.Classifiers)
+		sp := expSpan.Child(fmt.Sprintf("cell:%s/frac=%.2f", bt.name, frac))
+		q, _, err := evaluateMethod(transERMethod(cfg), sub, opts.Classifiers, sp)
+		sp.End()
 		if err != nil {
 			errs[cell] = err
 			return
@@ -97,6 +100,7 @@ func Figure7(opts Options) ([]SweepRow, error) {
 	}
 	out := make([]SweepRow, len(cells))
 	errs := make([]error, len(cells))
+	expSpan := opts.parentSpan()
 	parallel.ForEach(opts.Workers, len(cells), func(i int) {
 		c := cells[i]
 		bt := built[c.task]
@@ -104,7 +108,9 @@ func Figure7(opts Options) ([]SweepRow, error) {
 		cfg := core.DefaultConfig()
 		cfg.Workers = opts.Workers
 		sw.apply(&cfg, c.value)
-		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
+		sp := expSpan.Child(fmt.Sprintf("cell:%s/%s=%.2f", bt.name, sw.name, c.value))
+		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers, sp)
+		sp.End()
 		if err != nil {
 			errs[i] = err
 			return
@@ -143,12 +149,15 @@ func Table4(opts Options) (*Table, error) {
 	// One (task, variant) quality aggregate per grid cell.
 	quality := make([]eval.MetricsAggregate, len(built)*len(variants))
 	errs := make([]error, len(quality))
+	expSpan := opts.parentSpan()
 	parallel.ForEach(opts.Workers, len(quality), func(cell int) {
 		bt := built[cell/len(variants)]
 		v := variants[cell%len(variants)]
 		cfg := v.cfg
 		cfg.Workers = opts.Workers
-		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers)
+		sp := expSpan.Child("cell:" + bt.name + "/" + v.name)
+		q, _, err := evaluateMethod(transERMethod(cfg), bt, opts.Classifiers, sp)
+		sp.End()
 		if err != nil {
 			errs[cell] = fmt.Errorf("ablation %q on %s: %w", v.name, bt.name, err)
 			return

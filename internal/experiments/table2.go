@@ -90,6 +90,7 @@ func Table2(opts Options) (*Table2Result, error) {
 	for _, bt := range built {
 		res.Sizes[bt.name] = [2]int{len(bt.task.XS), len(bt.task.XT)}
 	}
+	expSpan := opts.parentSpan()
 	parallel.ForEach(opts.Workers, len(res.Rows), func(cell int) {
 		bt := built[cell/len(ms)]
 		m := ms[cell%len(ms)]
@@ -105,7 +106,9 @@ func Table2(opts Options) (*Table2Result, error) {
 			}
 			cls = cls[:1]
 		}
-		q, rt, err := evaluateMethod(m, bt, cls)
+		sp := expSpan.Child("cell:" + bt.name + "/" + m.Name())
+		q, rt, err := evaluateMethod(m, bt, cls, sp)
+		sp.End()
 		res.Rows[cell] = MethodRow{Task: bt.name, Method: m.Name(), Quality: q,
 			Runtime: rt / time.Duration(len(cls)), Err: err}
 	})

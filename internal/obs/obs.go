@@ -1,0 +1,249 @@
+// Package obs is the repository's stdlib-only observability layer:
+// hierarchical wall-clock spans (Tracer/Span), a concurrency-safe
+// metrics registry (Counter/Gauge/Histogram with a Snapshot API), a
+// machine-readable JSON run report consumed by the BENCH_*.json
+// trajectory files, and pprof/trace profiling helpers for the
+// command-line binaries.
+//
+// Everything is nil-safe by design: a nil *Tracer (and the nil *Span
+// and nil metric handles it hands out) turns every call into a no-op
+// that performs no allocation and no locking, so instrumented code
+// paths cost nothing when observability is off. BenchmarkTracerOverhead
+// and TestNilTracerAllocates guard that contract.
+//
+// Instrumentation never feeds back into computation — spans and metrics
+// only record what deterministic code already did — so every golden
+// output is byte-identical with observability enabled or disabled.
+//
+// Span naming: lower-case, colon-separated role:detail ("experiment:
+// table2", "cell:MSD -> MB/TransER", "generate:msd@0.50"); the TransER
+// phases use the paper's names "sel", "gen", "tcl" with "fit" and
+// "predict" children. Metric naming: dotted lower-case path with a
+// unit or _total suffix ("pipeline.store.hits_total",
+// "parallel.queue_wait_seconds").
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer owns one run's span tree and metrics registry. The zero value
+// is not useful: construct with New, or use a nil *Tracer for the
+// disabled fast path.
+type Tracer struct {
+	root *Span
+	reg  *Registry
+}
+
+// New returns an enabled tracer whose root span carries name
+// (conventionally the command or workload name).
+func New(name string) *Tracer {
+	return &Tracer{root: newSpan(name), reg: NewRegistry()}
+}
+
+// Root returns the run's root span (nil for a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Metrics returns the tracer's registry (nil for a nil tracer; a nil
+// registry is itself a no-op).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// AttrKind discriminates the typed payload of an Attr.
+type AttrKind uint8
+
+// Attr payload kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindStr
+	KindBool
+)
+
+// Attr is one typed span attribute. Typed fields (rather than an
+// interface{} value) keep the nil-span setters allocation-free: no
+// boxing happens before the receiver nil-check.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Value returns the attribute's payload as an interface value (used
+// when serialising reports; allocates, so only called at report time).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindFloat:
+		return a.Float
+	case KindStr:
+		return a.Str
+	case KindBool:
+		return a.Bool
+	default:
+		return a.Int
+	}
+}
+
+// Span is one timed node of the run's span tree. Spans are
+// concurrency-safe: parallel grid cells may add children and attributes
+// to a shared parent simultaneously. All methods are no-ops on a nil
+// receiver.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a new child span. It returns nil when s is nil, so
+// entire instrumented call trees collapse to no-ops under a nil
+// tracer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End fixes the span's duration. Ending twice keeps the first
+// duration; an un-ended span reports the time elapsed so far.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall time: the final duration after End,
+// or the time elapsed so far while still running (0 for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the span's children in creation
+// order. Under concurrent creation the order is scheduling-dependent;
+// serial instrumentation sees its program order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attrs returns a snapshot of the span's attributes in set order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Find returns the first descendant (depth-first, creation order) with
+// the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Children() {
+		if c.Name() == name {
+			return c
+		}
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+func (s *Span) addAttr(a Attr) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, a)
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (counts: instances selected,
+// pseudo labels kept, ...).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.addAttr(Attr{Key: key, Kind: KindInt, Int: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.addAttr(Attr{Key: key, Kind: KindFloat, Float: v})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.addAttr(Attr{Key: key, Kind: KindStr, Str: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.addAttr(Attr{Key: key, Kind: KindBool, Bool: v})
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := New("run")
+	if got := tr.Root().Name(); got != "run" {
+		t.Fatalf("root name = %q, want %q", got, "run")
+	}
+	exp := tr.Root().Child("experiment:table2")
+	cellA := exp.Child("cell:A")
+	cellA.Child("sel").End()
+	cellA.Child("gen").End()
+	cellA.Child("tcl").End()
+	cellA.End()
+	cellB := exp.Child("cell:B")
+	cellB.End()
+	exp.End()
+
+	kids := tr.Root().Children()
+	if len(kids) != 1 || kids[0].Name() != "experiment:table2" {
+		t.Fatalf("root children = %v", names(kids))
+	}
+	cells := exp.Children()
+	want := []string{"cell:A", "cell:B"}
+	if got := names(cells); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cell order = %v, want %v (serial creation order must be preserved)", got, want)
+	}
+	phases := names(cells[0].Children())
+	if fmt.Sprint(phases) != fmt.Sprint([]string{"sel", "gen", "tcl"}) {
+		t.Fatalf("phase order = %v", phases)
+	}
+	if tr.Root().Find("tcl") == nil {
+		t.Fatalf("Find could not locate the nested tcl span")
+	}
+	if tr.Root().Find("nope") != nil {
+		t.Fatalf("Find invented a span")
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestSpanAttrsTyped(t *testing.T) {
+	sp := New("run").Root().Child("sel")
+	sp.SetInt("selected", 42)
+	sp.SetFloat("frac", 0.5)
+	sp.SetStr("task", "a->b")
+	sp.SetBool("fallback", true)
+	attrs := sp.Attrs()
+	if len(attrs) != 4 {
+		t.Fatalf("got %d attrs, want 4", len(attrs))
+	}
+	wantVals := []any{int64(42), 0.5, "a->b", true}
+	for i, a := range attrs {
+		if a.Value() != wantVals[i] {
+			t.Errorf("attr %q = %v, want %v", a.Key, a.Value(), wantVals[i])
+		}
+	}
+}
+
+func TestSpanEndIdempotentAndDuration(t *testing.T) {
+	sp := New("run").Root().Child("s")
+	time.Sleep(time.Millisecond)
+	if sp.Duration() <= 0 {
+		t.Fatalf("running span should report elapsed time")
+	}
+	sp.End()
+	d := sp.Duration()
+	if d <= 0 {
+		t.Fatalf("ended span duration = %v", d)
+	}
+	time.Sleep(time.Millisecond)
+	if got := sp.Duration(); got != d {
+		t.Fatalf("End is not idempotent: %v then %v", d, got)
+	}
+}
+
+// TestSpanConcurrentChildren exercises the span mutex under the race
+// detector: parallel grid cells attach children and attributes to one
+// shared parent.
+func TestSpanConcurrentChildren(t *testing.T) {
+	parent := New("run").Root()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := parent.Child(fmt.Sprintf("cell:%d", i))
+			c.SetInt("i", int64(i))
+			parent.SetInt("touch", int64(i))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(parent.Children()); got != n {
+		t.Fatalf("got %d children, want %d", got, n)
+	}
+	if got := len(parent.Attrs()); got != n {
+		t.Fatalf("got %d attrs, want %d", got, n)
+	}
+}
+
+// TestNilTracerNoOp pins the disabled fast path: every call on a nil
+// tracer and everything it hands out must be a safe no-op.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Root() != nil {
+		t.Fatalf("nil tracer root should be nil")
+	}
+	if tr.Metrics() != nil {
+		t.Fatalf("nil tracer registry should be nil")
+	}
+	sp := tr.Root().Child("x").Child("y")
+	if sp != nil {
+		t.Fatalf("nil span child should be nil")
+	}
+	sp.SetInt("a", 1)
+	sp.SetFloat("b", 2)
+	sp.SetStr("c", "d")
+	sp.SetBool("e", true)
+	sp.End()
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Children() != nil || sp.Attrs() != nil || sp.Find("x") != nil {
+		t.Fatalf("nil span accessors should return zero values")
+	}
+
+	reg := tr.Metrics()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", SecondsBuckets()).Observe(1)
+	if reg.Counter("c").Value() != 0 || reg.Gauge("g").Value() != 0 {
+		t.Fatalf("nil instruments should read as zero")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot should be empty, got %+v", snap)
+	}
+}
+
+// TestNilTracerAllocates asserts the zero-allocation contract of the
+// disabled path: instrumented code running under a nil tracer must not
+// allocate at all.
+func TestNilTracerAllocates(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	var c *Counter
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Root().Child("cell")
+		sp.SetInt("selected", 7)
+		sp.SetBool("fallback", false)
+		inner := sp.Child("sel")
+		inner.End()
+		sp.End()
+		reg.Counter("hits").Add(1)
+		c.Add(1)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer path allocated %.1f times per run, want 0", allocs)
+	}
+}

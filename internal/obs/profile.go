@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts the profiles selected by the three path flags
+// (-cpuprofile, -memprofile, -exectrace; empty paths are skipped) and
+// returns a stop function that finalises them: it stops the CPU
+// profile and execution trace and writes the heap profile after a GC.
+// On error every partially started profile is stopped before
+// returning.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			_ = stops[i]()
+		}
+		return nil, err
+	}
+
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fail(fmt.Errorf("obs: cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("obs: cpuprofile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(fmt.Errorf("obs: exectrace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("obs: exectrace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: memprofile: %w", err)
+			}
+			return nil
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of named counters, gauges
+// and fixed-bucket histograms. Lookup methods intern instruments by
+// name (first registration wins), so hot paths resolve an instrument
+// once and then touch only atomics. All methods are no-ops on a nil
+// receiver and hand out nil instruments, which are themselves no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (bounds must be
+// sorted ascending; later registrations reuse the first bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments, keyed
+// by metric name — the form reports serialise.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot returns a point-in-time copy of every registered
+// instrument. A nil registry snapshots to empty (non-nil) maps so
+// report serialisation never branches.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets by upper bound,
+// with an implicit overflow bucket above the last bound. It also
+// tracks count, sum, min and max, all updated lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given sorted upper bounds.
+// Empty bounds give a single overflow bucket (count/sum/min/max only).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casFloat(&h.minBits, v, func(cur float64) bool { return v < cur })
+	casFloat(&h.maxBits, v, func(cur float64) bool { return v > cur })
+}
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casFloat atomically replaces the stored float when better reports
+// that v improves on the current value.
+func casFloat(bits *atomic.Uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := bits.Load()
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state (zero value for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Buckets: make([]Bucket, len(h.bounds)),
+	}
+	for i, b := range h.bounds {
+		s.Buckets[i] = Bucket{UpperBound: b, Count: h.counts[i].Load()}
+	}
+	s.Overflow = h.counts[len(h.bounds)].Load()
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	return s
+}
+
+// Bucket is one histogram bucket: the count of observations v with
+// v <= UpperBound and v > the previous bound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram state. Buckets hold
+// per-bucket (non-cumulative) counts; Overflow counts observations
+// above the last bound (kept separate so the JSON encoding never needs
+// a +Inf bound).
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Min      float64  `json:"min"`
+	Max      float64  `json:"max"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow int64    `json:"overflow"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the bucket holding the q-th observation. The
+// first bucket interpolates from Min, the overflow bucket from the
+// last bound to Max; out-of-range q clamps.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen int64
+	lower := s.Min
+	for _, b := range s.Buckets {
+		if float64(seen+b.Count) >= rank && b.Count > 0 {
+			frac := (rank - float64(seen)) / float64(b.Count)
+			hi := math.Min(b.UpperBound, s.Max)
+			lo := math.Max(lower, s.Min)
+			if hi < lo {
+				return hi
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += b.Count
+		lower = b.UpperBound
+	}
+	return s.Max
+}
+
+// ExpBuckets returns n upper bounds growing geometrically from start
+// by factor — the standard latency bucket layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds from start in steps of width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 || width <= 0 {
+		panic(fmt.Sprintf("obs: invalid LinearBuckets(%v, %v, %d)", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// SecondsBuckets is the default latency layout: 1µs..~67s in
+// geometric ×4 steps (14 buckets).
+func SecondsBuckets() []float64 { return ExpBuckets(1e-6, 4, 14) }
+
+// RatioBuckets is the default layout for fractions in [0,1] (width
+// 0.1).
+func RatioBuckets() []float64 { return LinearBuckets(0.1, 0.1, 10) }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	c.Add(3)
+	c.Add(2)
+	if got := reg.Counter("hits").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (lookups must intern by name)", got)
+	}
+	g := reg.Gauge("bytes")
+	g.Set(10)
+	g.Set(2.5)
+	if got := reg.Gauge("bytes").Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5 (last write wins)", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket convention: a value
+// lands in the first bucket whose upper bound is >= the value;
+// anything above the last bound is overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{2, 2, 2} // (<=1): 0.5,1.0; (<=2): 1.5,2.0; (<=4): 3.9,4.0
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket le=%v count = %d, want %d", s.Buckets[i].UpperBound, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", s.Overflow)
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 0.5/100", s.Min, s.Max)
+	}
+	if want := 0.5 + 1 + 1.5 + 2 + 3.9 + 4 + 4.1 + 100; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 10)) // 10..100
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// With 100 uniform observations the q-quantile lands near 100q;
+	// bucket interpolation is exact to within one bucket width.
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 10},
+		{0.9, 90, 10},
+		{0.99, 99, 10},
+		{0, 1, 10},
+		{1, 100, 1e-9},
+		{-1, 1, 10},    // clamps to 0
+		{2, 100, 1e-9}, // clamps to 1
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Snapshot().Mean(); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	if got := (HistogramSnapshot{}).Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// the lock-free instrument paths and the interning map must both
+// survive the race detector, and the final counts must be exact.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared").Add(1)
+				reg.Gauge("gauge").Set(float64(w))
+				reg.Histogram("hist", []float64{0.25, 0.5, 0.75}).Observe(float64(i%4) / 4)
+				_ = reg.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Counters["shared"]; got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	h := snap.Histograms["hist"]
+	if h.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var inBuckets int64
+	for _, b := range h.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets+h.Overflow != h.Count {
+		t.Fatalf("bucket sum %d + overflow %d != count %d", inBuckets, h.Overflow, h.Count)
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	exp := ExpBuckets(1e-6, 4, 3)
+	want := []float64{1e-6, 4e-6, 16e-6}
+	for i := range want {
+		if math.Abs(exp[i]-want[i]) > 1e-15 {
+			t.Errorf("ExpBuckets[%d] = %v, want %v", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(0.1, 0.1, 10)
+	if lin[0] != 0.1 || math.Abs(lin[9]-1.0) > 1e-9 {
+		t.Errorf("LinearBuckets ends = %v, %v", lin[0], lin[9])
+	}
+	for _, fn := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+		func() { LinearBuckets(0, 0, 3) },
+		func() { LinearBuckets(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid bucket layout did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

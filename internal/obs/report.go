@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the run-report JSON schema. Consumers
+// (BENCH_*.json tooling, the CI verifier) reject reports whose schema
+// field differs.
+const SchemaVersion = "transer.obs.report/v1"
+
+// Report is the machine-readable summary of one instrumented run: the
+// full span tree plus a metrics snapshot, written by the -metrics-out
+// flag of cmd/experiments, cmd/transer and cmd/datagen.
+type Report struct {
+	Schema     string    `json:"schema"`
+	Command    string    `json:"command"`
+	Args       []string  `json:"args,omitempty"`
+	Started    time.Time `json:"started"`
+	WallMS     float64   `json:"wall_ms"`
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Span       *SpanNode `json:"span"`
+	Metrics    Snapshot  `json:"metrics"`
+}
+
+// SpanNode is the serialised form of one span.
+type SpanNode struct {
+	Name     string         `json:"name"`
+	DurMS    float64        `json:"dur_ms"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanNode    `json:"children,omitempty"`
+}
+
+// Find returns the first node (depth-first) named name, including the
+// receiver itself, or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Walk calls fn for every node of the subtree in depth-first order.
+func (n *SpanNode) Walk(fn func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// BuildReport ends the tracer's root span and assembles the run
+// report. A nil tracer yields a minimal valid report with an empty
+// span tree (so callers need not branch on whether observability was
+// enabled).
+func BuildReport(command string, args []string, t *Tracer) *Report {
+	r := &Report{
+		Schema:     SchemaVersion,
+		Command:    command,
+		Args:       args,
+		Started:    time.Now(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Metrics:    t.Metrics().Snapshot(),
+	}
+	if root := t.Root(); root != nil {
+		root.End()
+		r.Started = root.start
+		r.WallMS = durMS(root.Duration())
+		r.Span = spanNode(root)
+	} else {
+		r.Span = &SpanNode{Name: command}
+	}
+	return r
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+func spanNode(s *Span) *SpanNode {
+	n := &SpanNode{Name: s.Name(), DurMS: durMS(s.Duration())}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		n.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			n.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, c := range s.Children() {
+		n.Children = append(n.Children, spanNode(c))
+	}
+	return n
+}
+
+// Validate checks the report against the schema: version and command
+// present, a well-formed span tree (non-empty names, non-negative
+// durations) and well-formed histogram snapshots (bucket bounds sorted
+// strictly ascending, bucket counts summing to Count).
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("obs: report schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.Command == "" {
+		return fmt.Errorf("obs: report has no command")
+	}
+	if r.Span == nil {
+		return fmt.Errorf("obs: report has no span tree")
+	}
+	var spanErr error
+	r.Span.Walk(func(n *SpanNode) {
+		if spanErr != nil {
+			return
+		}
+		if n.Name == "" {
+			spanErr = fmt.Errorf("obs: span with empty name")
+		} else if n.DurMS < 0 {
+			spanErr = fmt.Errorf("obs: span %q has negative duration", n.Name)
+		}
+	})
+	if spanErr != nil {
+		return spanErr
+	}
+	for name, c := range r.Metrics.Counters {
+		if c < 0 {
+			return fmt.Errorf("obs: counter %q is negative", name)
+		}
+	}
+	for name, h := range r.Metrics.Histograms {
+		var sum int64
+		last := 0.0
+		for i, b := range h.Buckets {
+			if i > 0 && b.UpperBound <= last {
+				return fmt.Errorf("obs: histogram %q bounds not ascending", name)
+			}
+			last = b.UpperBound
+			if b.Count < 0 {
+				return fmt.Errorf("obs: histogram %q has a negative bucket", name)
+			}
+			sum += b.Count
+		}
+		if sum+h.Overflow != h.Count {
+			return fmt.Errorf("obs: histogram %q buckets sum to %d, count is %d",
+				name, sum+h.Overflow, h.Count)
+		}
+	}
+	return nil
+}
+
+// ValidateReportBytes unmarshals a serialised report and validates it
+// — the check CI runs over -metrics-out output.
+func ValidateReportBytes(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: report is not valid JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildReportRoundTrip(t *testing.T) {
+	tr := New("experiments")
+	exp := tr.Root().Child("experiment:table2")
+	cell := exp.Child("cell:MSD -> MB/TransER")
+	sel := cell.Child("sel")
+	sel.SetInt("selected", 1234)
+	sel.End()
+	cell.End()
+	exp.End()
+	tr.Metrics().Counter("pipeline.store.hits_total").Add(7)
+	tr.Metrics().Histogram("parallel.queue_wait_seconds", SecondsBuckets()).Observe(0.001)
+
+	r := BuildReport("experiments", []string{"-exp", "table2"}, tr)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateReportBytes(b)
+	if err != nil {
+		t.Fatalf("round-trip validation failed: %v", err)
+	}
+	if got.Command != "experiments" || got.Schema != SchemaVersion {
+		t.Fatalf("header = %q/%q", got.Command, got.Schema)
+	}
+	selNode := got.Span.Find("sel")
+	if selNode == nil {
+		t.Fatalf("report lost the sel span; tree root = %+v", got.Span)
+	}
+	// JSON numbers decode as float64.
+	if v, ok := selNode.Attrs["selected"].(float64); !ok || v != 1234 {
+		t.Fatalf("sel attrs = %v", selNode.Attrs)
+	}
+	if got.Metrics.Counters["pipeline.store.hits_total"] != 7 {
+		t.Fatalf("counters = %v", got.Metrics.Counters)
+	}
+	if h := got.Metrics.Histograms["parallel.queue_wait_seconds"]; h.Count != 1 {
+		t.Fatalf("histogram lost its observation: %+v", h)
+	}
+}
+
+func TestBuildReportNilTracer(t *testing.T) {
+	r := BuildReport("transer", nil, nil)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("nil-tracer report must still validate: %v", err)
+	}
+	if r.Span == nil || r.Span.Name != "transer" {
+		t.Fatalf("span = %+v", r.Span)
+	}
+	if len(r.Metrics.Counters) != 0 {
+		t.Fatalf("metrics = %+v", r.Metrics)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Report {
+		return BuildReport("x", nil, New("x"))
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "bogus/v0" }, "schema"},
+		{"no command", func(r *Report) { r.Command = "" }, "command"},
+		{"no span", func(r *Report) { r.Span = nil }, "span tree"},
+		{"empty span name", func(r *Report) { r.Span.Children = []*SpanNode{{Name: ""}} }, "empty name"},
+		{"negative duration", func(r *Report) { r.Span.DurMS = -1 }, "negative duration"},
+		{"negative counter", func(r *Report) { r.Metrics.Counters = map[string]int64{"c": -1} }, "negative"},
+		{"unsorted bounds", func(r *Report) {
+			r.Metrics.Histograms = map[string]HistogramSnapshot{"h": {
+				Count: 2, Buckets: []Bucket{{UpperBound: 2, Count: 1}, {UpperBound: 1, Count: 1}},
+			}}
+		}, "ascending"},
+		{"bucket sum mismatch", func(r *Report) {
+			r.Metrics.Histograms = map[string]HistogramSnapshot{"h": {
+				Count: 5, Buckets: []Bucket{{UpperBound: 1, Count: 1}}, Overflow: 1,
+			}}
+		}, "sum"},
+	}
+	for _, tc := range cases {
+		r := base()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: validated despite defect", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateReportBytesRejectsGarbage(t *testing.T) {
+	if _, err := ValidateReportBytes([]byte("not json")); err == nil {
+		t.Fatalf("garbage bytes validated")
+	}
+}
+
+func TestSpanNodeWalkAndFind(t *testing.T) {
+	tree := &SpanNode{Name: "root", Children: []*SpanNode{
+		{Name: "a", Children: []*SpanNode{{Name: "leaf"}}},
+		{Name: "b"},
+	}}
+	var order []string
+	tree.Walk(func(n *SpanNode) { order = append(order, n.Name) })
+	if got := strings.Join(order, ","); got != "root,a,leaf,b" {
+		t.Fatalf("walk order = %s", got)
+	}
+	if tree.Find("leaf") == nil || tree.Find("zzz") != nil {
+		t.Fatalf("Find misbehaved")
+	}
+	var nilNode *SpanNode
+	if nilNode.Find("x") != nil {
+		t.Fatalf("nil node Find should be nil")
+	}
+	nilNode.Walk(func(*SpanNode) { t.Fatal("nil node walked") })
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+	stop, err := StartProfiles(cpu, mem, tr)
+	if err != nil {
+		t.Fatalf("StartProfiles: %v", err)
+	}
+	// Burn a little CPU so the profiles have something to record.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i % 7
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// All-empty paths: a no-op stop.
+	stop, err = StartProfiles("", "", "")
+	if err != nil {
+		t.Fatalf("disabled StartProfiles: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("disabled stop: %v", err)
+	}
+}

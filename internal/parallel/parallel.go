@@ -18,6 +18,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a requested worker count: n > 0 is returned as-is,
@@ -61,8 +62,17 @@ func ForEach(workers, n int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		recordSerial(n)
 		return
 	}
+
+	// Scheduling bookkeeping for Stats() and the optional obs
+	// histograms. Timing only ever observes what the deterministic
+	// index-slot protocol already did, so instrumented and
+	// uninstrumented runs produce bitwise identical results.
+	callStart := time.Now()
+	stats.calls.Add(1)
+	m := metricsPtr.Load()
 
 	var (
 		next atomic.Int64
@@ -73,6 +83,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
+			var busy time.Duration
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -82,9 +93,25 @@ func ForEach(workers, n int, fn func(i int)) {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
+				taskStart := time.Now()
+				raiseMax(stats.inFlight.Add(1))
 				fn(i)
+				stats.inFlight.Add(-1)
+				d := time.Since(taskStart)
+				busy += d
+				stats.tasks.Add(1)
+				stats.queueWaitNanos.Add(int64(taskStart.Sub(callStart)))
+				if m != nil {
+					m.QueueWait.Observe(taskStart.Sub(callStart).Seconds())
+					m.TaskLatency.Observe(d.Seconds())
+				}
+			}
+			if m != nil {
+				if wall := time.Since(callStart); wall > 0 {
+					m.WorkerUtilization.Observe(float64(busy) / float64(wall))
+				}
 			}
 		}()
 	}
@@ -108,6 +135,7 @@ func ForEachChunk(workers, n int, fn func(lo, hi int)) {
 	}
 	if workers <= 1 {
 		fn(0, n)
+		recordSerial(1)
 		return
 	}
 	chunk := (n + workers - 1) / workers

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"transer/internal/obs"
+)
+
+// PoolStats is a point-in-time snapshot of the package's execution
+// counters: how many ForEach/ForEachChunk/Map calls ran, how many
+// tasks they executed, the highest number of tasks ever in flight
+// simultaneously, and the total queue wait (the sum over parallel
+// tasks of the delay between call start and task start; serial calls
+// queue nothing). It exists so the obs layer and tests read a stable
+// API instead of reaching into scheduling internals.
+type PoolStats struct {
+	Calls       int64
+	Tasks       int64
+	MaxInFlight int64
+	QueueWait   time.Duration
+}
+
+var stats struct {
+	calls, tasks, inFlight, maxInFlight, queueWaitNanos atomic.Int64
+}
+
+// Stats snapshots the package counters. Counters accumulate from
+// process start (or the last ResetStats).
+func Stats() PoolStats {
+	return PoolStats{
+		Calls:       stats.calls.Load(),
+		Tasks:       stats.tasks.Load(),
+		MaxInFlight: stats.maxInFlight.Load(),
+		QueueWait:   time.Duration(stats.queueWaitNanos.Load()),
+	}
+}
+
+// ResetStats zeroes the package counters (test isolation).
+func ResetStats() {
+	stats.calls.Store(0)
+	stats.tasks.Store(0)
+	stats.inFlight.Store(0)
+	stats.maxInFlight.Store(0)
+	stats.queueWaitNanos.Store(0)
+}
+
+// PublishStats folds the current snapshot into a metrics registry as
+// gauges (nil-safe), using the package's metric name prefix.
+func PublishStats(reg *obs.Registry) {
+	st := Stats()
+	reg.Gauge("parallel.calls_total").Set(float64(st.Calls))
+	reg.Gauge("parallel.tasks_total").Set(float64(st.Tasks))
+	reg.Gauge("parallel.max_in_flight").Set(float64(st.MaxInFlight))
+	reg.Gauge("parallel.queue_wait_seconds_total").Set(st.QueueWait.Seconds())
+}
+
+// Metrics holds the histograms the worker pool feeds when observability
+// is enabled: per-task queue wait and latency (seconds) and per-worker
+// busy fraction over each parallel call.
+type Metrics struct {
+	QueueWait         *obs.Histogram
+	TaskLatency       *obs.Histogram
+	WorkerUtilization *obs.Histogram
+}
+
+var metricsPtr atomic.Pointer[Metrics]
+
+// RegisterMetrics installs pool histograms backed by reg; a nil
+// registry uninstalls them. The registered names are
+// parallel.queue_wait_seconds, parallel.task_seconds and
+// parallel.worker_utilization.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metricsPtr.Store(nil)
+		return
+	}
+	metricsPtr.Store(&Metrics{
+		QueueWait:         reg.Histogram("parallel.queue_wait_seconds", obs.SecondsBuckets()),
+		TaskLatency:       reg.Histogram("parallel.task_seconds", obs.SecondsBuckets()),
+		WorkerUtilization: reg.Histogram("parallel.worker_utilization", obs.RatioBuckets()),
+	})
+}
+
+// recordSerial accounts for a degenerate (single-goroutine) call.
+func recordSerial(n int) {
+	stats.calls.Add(1)
+	stats.tasks.Add(int64(n))
+	raiseMax(1)
+}
+
+// raiseMax lifts the max-in-flight high-water mark to at least cur.
+func raiseMax(cur int64) {
+	for {
+		old := stats.maxInFlight.Load()
+		if cur <= old || stats.maxInFlight.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}

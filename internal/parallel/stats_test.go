@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"transer/internal/obs"
+)
+
+func TestStatsSerialPath(t *testing.T) {
+	ResetStats()
+	var ran atomic.Int64
+	ForEach(1, 10, func(i int) { ran.Add(1) })
+	ForEachChunk(1, 8, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 18 {
+		t.Fatalf("ran %d tasks", ran.Load())
+	}
+	st := Stats()
+	if st.Calls != 2 {
+		t.Errorf("calls = %d, want 2", st.Calls)
+	}
+	// Serial ForEach counts its n indices; serial ForEachChunk counts
+	// its single chunk invocation.
+	if st.Tasks != 11 {
+		t.Errorf("tasks = %d, want 11", st.Tasks)
+	}
+	if st.MaxInFlight != 1 {
+		t.Errorf("max in flight = %d, want 1", st.MaxInFlight)
+	}
+	if st.QueueWait != 0 {
+		t.Errorf("serial queue wait = %v, want 0", st.QueueWait)
+	}
+}
+
+func TestStatsParallelPath(t *testing.T) {
+	ResetStats()
+	const n = 32
+	// A brief sleep per task guarantees overlap, so the in-flight
+	// high-water mark must exceed one worker's worth.
+	ForEach(4, n, func(i int) { time.Sleep(time.Millisecond) })
+	st := Stats()
+	if st.Calls != 1 {
+		t.Errorf("calls = %d, want 1", st.Calls)
+	}
+	if st.Tasks != n {
+		t.Errorf("tasks = %d, want %d", st.Tasks, n)
+	}
+	if st.MaxInFlight < 2 || st.MaxInFlight > 4 {
+		t.Errorf("max in flight = %d, want 2..4", st.MaxInFlight)
+	}
+	// Every task after the first batch queues behind a sleeping worker,
+	// so total queue wait must be positive.
+	if st.QueueWait <= 0 {
+		t.Errorf("queue wait = %v, want > 0", st.QueueWait)
+	}
+}
+
+func TestRegisterMetricsHistograms(t *testing.T) {
+	ResetStats()
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	defer RegisterMetrics(nil)
+
+	const n = 20
+	ForEach(4, n, func(i int) { time.Sleep(time.Millisecond) })
+	snap := reg.Snapshot()
+
+	qw := snap.Histograms["parallel.queue_wait_seconds"]
+	if qw.Count != n {
+		t.Errorf("queue-wait observations = %d, want %d", qw.Count, n)
+	}
+	tl := snap.Histograms["parallel.task_seconds"]
+	if tl.Count != n {
+		t.Errorf("task-latency observations = %d, want %d", tl.Count, n)
+	}
+	if tl.Min < 0.001 {
+		t.Errorf("task latency min = %v, want >= 1ms sleep", tl.Min)
+	}
+	wu := snap.Histograms["parallel.worker_utilization"]
+	if wu.Count != 4 {
+		t.Errorf("utilization observations = %d, want one per worker", wu.Count)
+	}
+	if wu.Max > 1.0+1e-9 {
+		t.Errorf("utilization max = %v, want <= 1", wu.Max)
+	}
+
+	// Uninstalling stops observation without touching existing data.
+	RegisterMetrics(nil)
+	ForEach(4, n, func(i int) {})
+	if got := reg.Snapshot().Histograms["parallel.task_seconds"].Count; got != n {
+		t.Errorf("observations after uninstall = %d, want still %d", got, n)
+	}
+}
+
+func TestPublishStats(t *testing.T) {
+	ResetStats()
+	ForEach(2, 6, func(i int) { time.Sleep(time.Millisecond) })
+	reg := obs.NewRegistry()
+	PublishStats(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["parallel.calls_total"]; got != 1 {
+		t.Errorf("calls gauge = %v", got)
+	}
+	if got := snap.Gauges["parallel.tasks_total"]; got != 6 {
+		t.Errorf("tasks gauge = %v", got)
+	}
+	if got := snap.Gauges["parallel.max_in_flight"]; got < 1 || got > 2 {
+		t.Errorf("max-in-flight gauge = %v", got)
+	}
+	// Publishing into a nil registry must be a no-op, not a panic.
+	PublishStats(nil)
+}
+
+// TestStatsDoNotPerturbResults pins the observability contract at the
+// scheduling layer: Map output is bitwise identical with metrics
+// installed or not.
+func TestStatsDoNotPerturbResults(t *testing.T) {
+	f := func(i int) int { return i*i + 1 }
+	plain := Map(4, 100, f)
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	defer RegisterMetrics(nil)
+	instrumented := Map(4, 100, f)
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("slot %d: %d != %d", i, plain[i], instrumented[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"transer/internal/compare"
 	"transer/internal/datagen"
 	"transer/internal/dataset"
+	"transer/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of store activity. Hits counts
@@ -35,6 +37,13 @@ type Store struct {
 	entries map[Fingerprint]*entry
 
 	hits, misses, bytes atomic.Int64
+
+	// Observability (nil when uninstrumented): stage builds become
+	// children of obsSpan, and the hit/miss/byte counters are mirrored
+	// into the registry so run reports carry them.
+	obsSpan     *obs.Span
+	hitC, missC *obs.Counter
+	bytesG      *obs.Gauge
 }
 
 // entry is one memoized artifact. done is closed once val (or pan) is
@@ -55,6 +64,28 @@ func (s *Store) Stats() Stats {
 	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Bytes: s.bytes.Load()}
 }
 
+// Instrument attaches the store to a tracer: every stage build becomes
+// a span under a "pipeline" group span, and the hit/miss/byte counters
+// are folded into the tracer's metrics registry
+// (pipeline.store.hits_total, pipeline.store.misses_total,
+// pipeline.store.bytes). Call before the first Domain request; a nil
+// tracer leaves the store uninstrumented.
+func (s *Store) Instrument(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	s.obsSpan = t.Root().Child("pipeline")
+	reg := t.Metrics()
+	s.hitC = reg.Counter("pipeline.store.hits_total")
+	s.missC = reg.Counter("pipeline.store.misses_total")
+	s.bytesG = reg.Gauge("pipeline.store.bytes")
+}
+
+// stageSpan opens one stage-build span (nil when uninstrumented).
+func (s *Store) stageSpan(stage, key string, scale float64) *obs.Span {
+	return s.obsSpan.Child(fmt.Sprintf("%s:%s@%.2f", stage, key, scale))
+}
+
 // get returns the artifact under fp, building it with build on the
 // first request (single-flight: concurrent requesters wait for the
 // builder instead of duplicating work). size reports the approximate
@@ -68,6 +99,7 @@ func (s *Store) get(fp Fingerprint, build func() (val any, size int64)) any {
 			panic(e.pan)
 		}
 		s.hits.Add(1)
+		s.hitC.Add(1)
 		return e.val
 	}
 	e := &entry{done: make(chan struct{})}
@@ -75,6 +107,7 @@ func (s *Store) get(fp Fingerprint, build func() (val any, size int64)) any {
 	s.mu.Unlock()
 
 	s.misses.Add(1)
+	s.missC.Add(1)
 	defer close(e.done)
 	defer func() {
 		// A panicking build (e.g. a worker panic re-raised by the
@@ -87,7 +120,7 @@ func (s *Store) get(fp Fingerprint, build func() (val any, size int64)) any {
 	}()
 	val, size := build()
 	e.val = val
-	s.bytes.Add(size)
+	s.bytesG.Set(float64(s.bytes.Add(size)))
 	return val
 }
 
@@ -118,7 +151,11 @@ type Request struct {
 func (s *Store) Domain(req Request) *Domain {
 	genFP := fingerprint(generateKey(req.Dataset, req.Scale))
 	pair := s.get(genFP, func() (any, int64) {
+		sp := s.stageSpan("generate", req.Dataset.Key, req.Scale)
+		defer sp.End()
 		p := req.Dataset.Generate(req.Scale)
+		sp.SetInt("records_a", int64(p.A.NumRecords()))
+		sp.SetInt("records_b", int64(p.B.NumRecords()))
 		return p, pairBytes(p)
 	}).(datagen.DomainPair)
 
@@ -128,7 +165,10 @@ func (s *Store) Domain(req Request) *Domain {
 	}
 	blockFP := fingerprint(blockKey(genFP, cfg))
 	pairs := s.get(blockFP, func() (any, int64) {
+		sp := s.stageSpan("block", req.Dataset.Key, req.Scale)
+		defer sp.End()
 		ps := Block(pair.A, pair.B, cfg)
+		sp.SetInt("candidate_pairs", int64(len(ps)))
 		return ps, int64(len(ps)) * 16
 	}).([]dataset.Pair)
 
@@ -139,13 +179,27 @@ func (s *Store) Domain(req Request) *Domain {
 	scheme.Workers = req.Workers
 	compFP := fingerprint(compareKey(blockFP, scheme))
 	x := s.get(compFP, func() (any, int64) {
+		sp := s.stageSpan("compare", req.Dataset.Key, req.Scale)
+		defer sp.End()
 		m := Compare(pair.A, pair.B, pairs, scheme)
+		sp.SetInt("rows", int64(len(m)))
+		sp.SetInt("features", int64(scheme.NumFeatures()))
 		return m, matrixBytes(m)
 	}).([][]float64)
 
 	labelFP := fingerprint(labelKey(blockFP))
 	y := s.get(labelFP, func() (any, int64) {
+		sp := s.stageSpan("label", req.Dataset.Key, req.Scale)
+		defer sp.End()
 		ls := Label(pairs, pair.Truth())
+		matches := 0
+		for _, l := range ls {
+			if l == 1 {
+				matches++
+			}
+		}
+		sp.SetInt("labels", int64(len(ls)))
+		sp.SetInt("matches", int64(matches))
 		return ls, int64(len(ls)) * 8
 	}).([]int)
 

@@ -23,9 +23,15 @@ func (c TransER) Run(t *Task, factory ml.Factory) (*Result, error) {
 		return nil, err
 	}
 	cfg := c.Config
+	// The zero-value check must ignore the observability handle: a
+	// span-only Config still means "use the paper defaults", and the
+	// substitution must never depend on whether tracing is on.
+	obsSpan := cfg.Obs
+	cfg.Obs = nil
 	if cfg == (core.Config{}) {
 		cfg = core.DefaultConfig()
 	}
+	cfg.Obs = obsSpan
 	res, err := core.Run(t.XS, t.YS, t.XT, factory, cfg)
 	if err != nil {
 		return nil, err
