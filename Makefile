@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,45 @@ profile:
 	$(GO) run ./cmd/experiments -exp $(EXP) -scale $(SCALE) \
 		-cpuprofile cpu-$(EXP).out -memprofile mem-$(EXP).out -exectrace trace-$(EXP).out
 	@echo "wrote cpu-$(EXP).out mem-$(EXP).out trace-$(EXP).out"
+
+# Train on the built-in bibliographic task (dblp-acm → dblp-scholar)
+# and export a transer.model/v1 artifact for cmd/serve:
+#   make model MODEL=model.json MODEL_SCALE=0.25
+MODEL ?= model.json
+MODEL_SCALE ?= 0.25
+model:
+	@mkdir -p .model-data
+	$(GO) run ./cmd/datagen -dataset dblp-acm -scale $(MODEL_SCALE) -out .model-data
+	$(GO) run ./cmd/datagen -dataset dblp-scholar -scale $(MODEL_SCALE) -out .model-data
+	$(GO) run ./cmd/transer \
+		-source-a .model-data/dblp-acm-a.csv -source-b .model-data/dblp-acm-b.csv \
+		-target-a .model-data/dblp-scholar-a.csv -target-b .model-data/dblp-scholar-b.csv \
+		-out .model-data/matches.csv -model-out $(MODEL)
+	@echo "wrote $(MODEL)"
+
+# Serve the exported artifact over the JSON HTTP API (trains one first
+# if $(MODEL) is absent). See DESIGN.md §9 for the endpoints.
+ADDR ?= :8080
+serve: $(MODEL)
+	$(GO) run ./cmd/serve -model $(MODEL) -addr $(ADDR)
+
+$(MODEL):
+	$(MAKE) model MODEL=$(MODEL)
+
+# Serving latency baseline: the in-process benchmarks, then a real
+# cmd/serve process replaying single-pair traffic whose shutdown run
+# report is condensed into BENCH_serve.json via cmd/benchreport.
+bench-serve: $(MODEL)
+	$(GO) test -bench 'BenchmarkServe' -benchtime 100x -run '^$$' ./internal/serve/
+	$(GO) build -o .model-data/serve-bin ./cmd/serve
+	@./.model-data/serve-bin -model $(MODEL) -addr 127.0.0.1:18080 \
+		-metrics-out .model-data/serve-report.json & pid=$$!; \
+	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:18080/healthz >/dev/null && break; sleep 0.1; done; \
+	for i in $$(seq 1 200); do curl -sf -X POST http://127.0.0.1:18080/v1/match -d '{"a":{},"b":{}}' >/dev/null || exit 1; done; \
+	kill -TERM $$pid; wait $$pid
+	$(GO) run ./cmd/benchreport -note "make bench-serve: 200x POST /v1/match against cmd/serve" \
+		.model-data/serve-report.json > BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 # Bounded fuzzing smoke: each native fuzz target runs for a short,
 # fixed budget on top of its checked-in seed corpus (testdata/fuzz).

@@ -103,7 +103,7 @@ func RunMethod(m Method, source, target *Domain, factory ClassifierFactory) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: res.Labels, Proba: res.Proba}, nil
+	return &Result{Labels: res.Labels, Proba: res.Proba, Classifier: res.Classifier}, nil
 }
 
 // EvaluateMethod runs a method once per standard classifier and

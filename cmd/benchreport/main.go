@@ -13,6 +13,9 @@
 // phase: the TransER phases (sel, gen, tcl and their fit/predict
 // children) and the pipeline stages (generate, block, compare, label;
 // stage spans are named "stage:dataset@scale", aggregated by stage).
+// Reports from cmd/serve aggregate too: its request spans keep their
+// route ("request:match", "request:batch") so the two endpoints stay
+// separable in the summary.
 package main
 
 import (
@@ -58,6 +61,7 @@ var phases = map[string]bool{
 	"sel": true, "gen": true, "tcl": true,
 	"fit": true, "predict": true,
 	"generate": true, "block": true, "compare": true, "label": true,
+	"request": true,
 }
 
 func baseName(name string) string {
@@ -85,10 +89,15 @@ func Summarize(r *obs.Report) BenchRun {
 		if !phases[base] {
 			return
 		}
-		p := run.Phases[base]
+		key := base
+		if base == "request" {
+			// Serve request spans aggregate per route, not lumped.
+			key = n.Name
+		}
+		p := run.Phases[key]
 		p.Count++
 		p.TotalMS += n.DurMS
-		run.Phases[base] = p
+		run.Phases[key] = p
 	})
 	return run
 }

@@ -82,3 +82,22 @@ func TestBenchreportEndToEnd(t *testing.T) {
 		t.Fatalf("want a benchreport error, got:\n%s", errOut)
 	}
 }
+
+// TestSummarizeServeReport: cmd/serve request spans aggregate per
+// route so match and batch latency totals stay separable.
+func TestSummarizeServeReport(t *testing.T) {
+	tr := obs.New("serve")
+	tr.Root().Child("request:match").End()
+	tr.Root().Child("request:match").End()
+	tr.Root().Child("request:batch").End()
+	run := Summarize(obs.BuildReport("serve", nil, tr))
+	if got := run.Phases["request:match"].Count; got != 2 {
+		t.Errorf("request:match count = %d, want 2", got)
+	}
+	if got := run.Phases["request:batch"].Count; got != 1 {
+		t.Errorf("request:batch count = %d, want 1", got)
+	}
+	if _, ok := run.Phases["request"]; ok {
+		t.Errorf("request spans must not be lumped under one phase")
+	}
+}

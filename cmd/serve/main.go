@@ -1,0 +1,135 @@
+// Command serve runs the online matching service: it loads a
+// transer.model/v1 artifact (exported by cmd/transer -model-out) and
+// serves match decisions over a JSON HTTP API.
+//
+// Usage:
+//
+//	serve -model model.json [-addr :8080] [-timeout 10s] \
+//	      [-max-in-flight 0] [-max-queue 64] [-max-batch 10000] \
+//	      [-workers 0] [-metrics-out report.json]
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/match         {"a": {attr: value, ...}, "b": {...}}
+//	POST /v1/match/batch   {"pairs": [{"a": {...}, "b": {...}}, ...]}
+//	GET  /v1/models        loaded model metadata
+//	POST /v1/models/reload hot-swap the artifact from disk
+//	GET  /healthz          liveness
+//	GET  /metrics          transer.serve.metrics/v1 JSON snapshot
+//
+// A served model scores pairs byte-identically to the cmd/transer run
+// that exported it, and batch responses are byte-identical for every
+// -workers value. Requests beyond the in-flight + queue capacity are
+// shed with 429 and a Retry-After hint.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests (bounded by -drain) before exiting. -metrics-out
+// writes a transer.obs.report/v1 run report on shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"transer/internal/obs"
+	"transer/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath   = flag.String("model", "", "transer.model/v1 artifact to serve (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request scoring deadline")
+		maxInFlight = flag.Int("max-in-flight", 0, "max concurrently scored requests (0 = one per CPU)")
+		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for a slot before shedding with 429 (0 = shed as soon as every slot is busy)")
+		maxBatch    = flag.Int("max-batch", 10000, "max pairs per batch request")
+		workers     = flag.Int("workers", 0, "batch scoring worker pool (0 = one per CPU; responses identical for any value)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		metricsOut  = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file` on shutdown")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		return errors.New("missing required flag -model")
+	}
+
+	reg, err := serve.NewModelRegistry(*modelPath)
+	if err != nil {
+		return err
+	}
+	// On the flag, 0 intuitively means "no queue"; serve.Config keeps 0
+	// as "use the default" and takes negative for that.
+	queue := *maxQueue
+	if queue <= 0 {
+		queue = -1
+	}
+	tr := obs.New("serve")
+	srv, err := serve.New(serve.Config{
+		Registry:      reg,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      queue,
+		Timeout:       *timeout,
+		Workers:       *workers,
+		MaxBatchPairs: *maxBatch,
+		Tracer:        tr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	info := reg.Info()
+	fmt.Fprintf(os.Stderr, "serve: model %q (%s classifier, %d features) on http://%s\n",
+		info.Name, info.Classifier, len(info.Features), ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+
+	if *metricsOut != "" {
+		report := obs.BuildReport("serve", os.Args[1:], tr)
+		if err := report.WriteFile(*metricsOut); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained, bye")
+	return nil
+}

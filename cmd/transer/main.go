@@ -6,29 +6,45 @@
 //
 //	transer -source-a s1.csv -source-b s2.csv \
 //	        -target-a t1.csv -target-b t2.csv \
-//	        -out matches.csv [-tc 0.9] [-tl 0.9] [-tp 0.9] [-k 7] [-b 3] \
-//	        [-metrics-out report.json] [-cpuprofile cpu.pprof] \
-//	        [-memprofile mem.pprof] [-exectrace trace.out]
+//	        [-out matches.csv] [-tc 0.9] [-tl 0.9] [-tp 0.9] [-k 7] [-b 3] \
+//	        [-seed 0] [-workers 0] \
+//	        [-model-out model.json] [-metrics-out report.json] \
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
+//	        [-exectrace trace.out]
 //
 // The CSVs use the format produced by cmd/datagen (header
 // "id,entity_id,<attr:type>,..."). The source databases must carry
 // entity ids (they provide the training labels); target entity ids,
-// when present, are used only to print evaluation measures.
+// when present, are used only to print evaluation measures. Predicted
+// matches go to -out (default stdout).
+//
+// -model-out exports the trained target classifier as a
+// transer.model/v1 JSON artifact that cmd/serve can load; the served
+// model scores pairs byte-identically to this run.
 //
 // -metrics-out writes a transer.obs.report/v1 JSON run report with
 // spans for the source/target domain builds and the TransER run
 // (SEL/GEN/TCL phases with classifier fit/predict children).
+//
+// -workers bounds the worker pool (0 = one per CPU); output is
+// byte-identical for every worker count. -seed drives the TCL
+// under-sampling and any stochastic classifier.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	transer "transer"
 	"transer/internal/dataset"
+	"transer/internal/ml"
+	"transer/internal/model"
 	"transer/internal/obs"
 	"transer/internal/parallel"
+	"transer/internal/pipeline"
 )
 
 func main() {
@@ -50,6 +66,9 @@ func run() error {
 		tp         = flag.Float64("tp", 0.9, "pseudo label confidence threshold t_p")
 		k          = flag.Int("k", 7, "neighbourhood size")
 		b          = flag.Float64("b", 3, "non-match : match balance ratio")
+		seed       = flag.Int64("seed", 0, "seed for under-sampling and stochastic classifiers")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU; results identical for any value)")
+		modelOut   = flag.String("model-out", "", "export the trained classifier as a transer.model/v1 artifact to `file`")
 		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
@@ -112,6 +131,7 @@ func run() error {
 
 	cfg := transer.DefaultConfig()
 	cfg.TC, cfg.TL, cfg.TP, cfg.K, cfg.B = *tc, *tl, *tp, *k, *b
+	cfg.Seed, cfg.Workers = *seed, *workers
 	runSpan := tr.Root().Child("transfer")
 	cfg.Obs = runSpan
 	res, err := transer.Transfer(source, target, transer.WithConfig(cfg))
@@ -128,21 +148,27 @@ func run() error {
 			m.Precision, m.Recall, m.FStar, m.F1)
 	}
 
-	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	fmt.Fprintln(w, "a_id,b_id,probability")
-	for i, p := range target.Pairs {
-		if res.Labels[i] == 1 {
-			fmt.Fprintf(w, "%s,%s,%.4f\n",
-				target.A.Records[p.A].ID, target.B.Records[p.B].ID, res.Proba[i])
+		if err := writeMatches(f, target, res); err != nil {
+			f.Close()
+			return err
 		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := writeMatches(os.Stdout, target, res); err != nil {
+		return err
+	}
+
+	if *modelOut != "" {
+		if err := exportModel(*modelOut, res, source, target, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model: wrote %s\n", *modelOut)
 	}
 
 	if *metricsOut != "" {
@@ -153,4 +179,50 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeMatches renders the predicted matches as CSV, surfacing write
+// errors (a full disk must not silently truncate the match set).
+func writeMatches(w io.Writer, target *transer.Domain, res *transer.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "a_id,b_id,probability")
+	for i, p := range target.Pairs {
+		if res.Labels[i] == 1 {
+			fmt.Fprintf(bw, "%s,%s,%.4f\n",
+				target.A.Records[p.A].ID, target.B.Records[p.B].ID, res.Proba[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// exportModel persists the run's trained classifier as a
+// transer.model/v1 artifact, stamped with the training configuration
+// and content fingerprints of the four input databases.
+func exportModel(path string, res *transer.Result, source, target *transer.Domain, cfg transer.Config) error {
+	pc, ok := res.Classifier.(ml.ParamClassifier)
+	if !ok {
+		return fmt.Errorf("classifier %T does not support parameter export", res.Classifier)
+	}
+	art, err := model.New(source.Name+"→"+target.Name, pc, target.A.Schema, target.Scheme)
+	if err != nil {
+		return err
+	}
+	cfg.Obs = nil
+	art.Training = model.TrainingFromConfig(cfg)
+	st := res.Stats
+	art.Provenance = model.Provenance{
+		SourceName:     source.Name,
+		TargetName:     target.Name,
+		SourceA:        pipeline.DataFingerprint(source.A).Hex(),
+		SourceB:        pipeline.DataFingerprint(source.B).Hex(),
+		TargetA:        pipeline.DataFingerprint(target.A).Hex(),
+		TargetB:        pipeline.DataFingerprint(target.B).Hex(),
+		SourcePairs:    source.NumPairs(),
+		TargetPairs:    target.NumPairs(),
+		Selected:       st.Selected,
+		HighConfidence: st.HighConfidence,
+		BalancedTrain:  st.BalancedTrain,
+		TCLFallback:    st.TCLFallback,
+	}
+	return art.WriteFile(path)
 }

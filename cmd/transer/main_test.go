@@ -1,12 +1,16 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	transer "transer"
+	"transer/internal/dataset"
+	"transer/internal/model"
 	"transer/internal/obs"
 	"transer/internal/testkit"
 )
@@ -22,7 +26,8 @@ func TestTranserMissingRequiredFlag(t *testing.T) {
 func TestTranserUsageListsFlags(t *testing.T) {
 	bin := testkit.BuildBinary(t, "transer/cmd/transer")
 	out, _ := exec.Command(bin, "-h").CombinedOutput()
-	for _, flag := range []string{"-source-a", "-target-b", "-tc", "-tl", "-tp", "-k", "-b", "-out"} {
+	for _, flag := range []string{"-source-a", "-target-b", "-tc", "-tl", "-tp", "-k", "-b", "-out",
+		"-seed", "-workers", "-model-out", "-metrics-out"} {
 		if !strings.Contains(string(out), flag) {
 			t.Fatalf("usage output lacks %s:\n%s", flag, out)
 		}
@@ -109,5 +114,81 @@ func TestTranserMetricsReport(t *testing.T) {
 	}
 	if r.Span.Find("build:source") == nil || r.Span.Find("build:target") == nil {
 		t.Errorf("report lacks the domain build spans")
+	}
+}
+
+// TestTranserModelExport runs the miniature task with -model-out and
+// verifies the exported artifact reproduces the run's own decisions:
+// re-scoring the target CSVs through the loaded model must yield
+// exactly the match set the run wrote to -out.
+func TestTranserModelExport(t *testing.T) {
+	datagen := testkit.BuildBinary(t, "transer/cmd/datagen")
+	bin := testkit.BuildBinary(t, "transer/cmd/transer")
+	dir := t.TempDir()
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-acm", "-scale", "0.1", "-out", dir)
+	testkit.RunBinary(t, datagen, "-dataset", "dblp-scholar", "-scale", "0.1", "-out", dir)
+
+	outCSV := filepath.Join(dir, "matches.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	tgtA, tgtB := filepath.Join(dir, "dblp-scholar-a.csv"), filepath.Join(dir, "dblp-scholar-b.csv")
+	testkit.RunBinary(t, bin,
+		"-source-a", filepath.Join(dir, "dblp-acm-a.csv"),
+		"-source-b", filepath.Join(dir, "dblp-acm-b.csv"),
+		"-target-a", tgtA,
+		"-target-b", tgtB,
+		"-out", outCSV,
+		"-model-out", modelPath)
+
+	m, err := model.LoadMatcher(modelPath)
+	if err != nil {
+		t.Fatalf("LoadMatcher: %v", err)
+	}
+	if m.Artifact.Classifier.Type != "rf" {
+		t.Errorf("default classifier exported as %q, want rf", m.Artifact.Classifier.Type)
+	}
+	if m.Artifact.Provenance.TargetA == "" || len(m.Artifact.Provenance.TargetA) != 64 {
+		t.Errorf("provenance lacks target fingerprints: %+v", m.Artifact.Provenance)
+	}
+
+	// Rebuild the target domain as the run did and re-score through the
+	// loaded model.
+	dbA, err := dataset.ReadCSVFile(tgtA, "target-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := dataset.ReadCSVFile(tgtB, "target-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := transer.NewDomain(dbA, dbB, transer.WithName("target"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := m.Score(target.X, 0)
+	want := map[string]string{}
+	for i, p := range target.Pairs {
+		if m.Decide(proba[i]) {
+			key := target.A.Records[p.A].ID + "," + target.B.Records[p.B].ID
+			want[key] = fmt.Sprintf("%.4f", proba[i])
+		}
+	}
+
+	data, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	got := map[string]string{}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		got[f[0]+","+f[1]] = f[2]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("run wrote %d matches, loaded model decides %d", len(got), len(want))
+	}
+	for k, p := range want {
+		if got[k] != p {
+			t.Errorf("pair %s: run wrote probability %s, model scores %s", k, got[k], p)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"transer/internal/ml"
 	"transer/internal/obs"
 )
 
@@ -141,6 +142,13 @@ type Result struct {
 	PseudoLabels []int
 	// PseudoConfidence holds the confidence of each pseudo label.
 	PseudoConfidence []float64
+	// Classifier is the trained classifier that produced Proba: the
+	// TCL-phase target classifier on the normal path, or the GEN-phase
+	// classifier when TCL was skipped (TCLFallback, DisableGENTCL).
+	// Invariant: Proba equals Classifier.PredictProba on the target
+	// matrix, so persisting it (internal/model) preserves the run's
+	// decisions exactly.
+	Classifier ml.Classifier
 	// Stats describes the run.
 	Stats Stats
 }

@@ -365,3 +365,43 @@ func BenchmarkSelectInstances(b *testing.B) {
 		SelectInstances(xs, ys, xt, cfg)
 	}
 }
+
+// TestResultClassifierMatchesProba pins the export invariant: on every
+// path (normal TCL, TCL fallback, GEN-only ablation) Result.Classifier
+// is the classifier whose predictions Result.Proba holds, bitwise — the
+// guarantee internal/model's artifacts depend on.
+func TestResultClassifierMatchesProba(t *testing.T) {
+	xs, ys, xt, _ := transferProblem(400, 300, 0.05, 0.15, 1)
+	cases := map[string]Config{
+		"normal":       DefaultConfig(),
+		"tcl-fallback": {K: 7, TC: 0.9, TL: 0.9, TP: 1.0, B: 3},
+		"gen-only": func() Config {
+			c := DefaultConfig()
+			c.DisableGENTCL = true
+			return c
+		}(),
+	}
+	for name, cfg := range cases {
+		factory := treeFactory()
+		if name == "tcl-fallback" {
+			// A sigmoid never reaches confidence 1.0; tree leaves do.
+			factory = func() ml.Classifier { return logreg.New(logreg.Config{}) }
+		}
+		res, err := Run(xs, ys, xt, factory, cfg)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if res.Classifier == nil {
+			t.Fatalf("%s: Result.Classifier is nil", name)
+		}
+		if name == "tcl-fallback" && !res.Stats.TCLFallback {
+			t.Fatalf("t_p=1.0 did not trigger the TCL fallback")
+		}
+		got := res.Classifier.PredictProba(xt)
+		for i, p := range res.Proba {
+			if got[i] != p {
+				t.Fatalf("%s: Proba[%d]=%v but Classifier predicts %v", name, i, p, got[i])
+			}
+		}
+	}
+}

@@ -98,6 +98,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 		// with the classifier trained on the transferred instances.
 		res.Labels = ml.Labels(proba, 0.5)
 		res.Proba = proba
+		res.Classifier = cu
 		return res, nil
 	}
 
@@ -125,6 +126,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 		// predictions directly rather than failing the task.
 		res.Labels = ml.Labels(proba, 0.5)
 		res.Proba = proba
+		res.Classifier = cu
 		res.Stats.TCLFallback = true
 		res.Stats.TclTime = time.Since(tclStart)
 		tclSpan.SetBool("fallback", true)
@@ -145,6 +147,7 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	predictSpan.End()
 	res.Labels = ml.Labels(finalProba, 0.5)
 	res.Proba = finalProba
+	res.Classifier = cv
 	res.Stats.TclTime = time.Since(tclStart)
 	tclSpan.End()
 	return res, nil

@@ -104,6 +104,11 @@ func ReadCSVFile(path, name string) (*Database, error) {
 	return ReadCSV(f, name)
 }
 
+// ParseAttrType resolves an attribute type's String() form back to the
+// constant — the inverse used by the CSV header reader and by model
+// artifacts (internal/model) that persist schemas as text.
+func ParseAttrType(s string) (AttrType, error) { return parseAttrType(s) }
+
 func parseAttrType(s string) (AttrType, error) {
 	switch s {
 	case "name":

@@ -7,6 +7,8 @@
 package bayes
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"transer/internal/ml"
@@ -84,6 +86,44 @@ func (b *Bayes) Fit(x [][]float64, y []int) error {
 			}
 		}
 	}
+	b.trained = true
+	return nil
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (b *Bayes) ClassifierType() string { return "bayes" }
+
+// Params is the serialised state of a trained Bayes classifier.
+type Params struct {
+	Config   Config       `json:"config"`
+	LogPrior [2]float64   `json:"log_prior"`
+	Mean     [2][]float64 `json:"mean"`
+	Variance [2][]float64 `json:"variance"`
+}
+
+// Params implements ml.ParamClassifier.
+func (b *Bayes) Params() ([]byte, error) {
+	if !b.trained {
+		return nil, ml.ErrNotTrained
+	}
+	return json.Marshal(Params{Config: b.cfg, LogPrior: b.logPrior, Mean: b.mean, Variance: b.variance})
+}
+
+// SetParams implements ml.ParamClassifier.
+func (b *Bayes) SetParams(buf []byte) error {
+	var p Params
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return fmt.Errorf("bayes: params: %w", err)
+	}
+	for c := 0; c < 2; c++ {
+		if len(p.Mean[c]) == 0 || len(p.Mean[c]) != len(p.Variance[c]) {
+			return fmt.Errorf("bayes: class %d has %d means but %d variances", c, len(p.Mean[c]), len(p.Variance[c]))
+		}
+	}
+	b.cfg = p.Config.withDefaults()
+	b.logPrior = p.LogPrior
+	b.mean = p.Mean
+	b.variance = p.Variance
 	b.trained = true
 	return nil
 }

@@ -99,3 +99,7 @@ func BenchmarkBayesFit(b *testing.B) {
 		}
 	}
 }
+
+func TestBayesParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{}) }, 7)
+}

@@ -5,6 +5,8 @@
 package forest
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -86,6 +88,54 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 		}
 		f.trees = append(f.trees, tr)
 	}
+	return nil
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (f *Forest) ClassifierType() string { return "rf" }
+
+// Params is the serialised state of a trained Forest: the configuration
+// plus every tree's own exported parameters.
+type Params struct {
+	Config Config            `json:"config"`
+	Trees  []json.RawMessage `json:"trees"`
+}
+
+// Params implements ml.ParamClassifier.
+func (f *Forest) Params() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, ml.ErrNotTrained
+	}
+	p := Params{Config: f.cfg, Trees: make([]json.RawMessage, len(f.trees))}
+	for i, tr := range f.trees {
+		b, err := tr.Params()
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		p.Trees[i] = b
+	}
+	return json.Marshal(p)
+}
+
+// SetParams implements ml.ParamClassifier.
+func (f *Forest) SetParams(b []byte) error {
+	var p Params
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("forest: params: %w", err)
+	}
+	if len(p.Trees) == 0 {
+		return fmt.Errorf("forest: params carry no trees")
+	}
+	trees := make([]*tree.Tree, len(p.Trees))
+	for i, tb := range p.Trees {
+		tr := tree.New(tree.Config{})
+		if err := tr.SetParams(tb); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		trees[i] = tr
+	}
+	f.cfg = p.Config.withDefaults()
+	f.trees = trees
 	return nil
 }
 

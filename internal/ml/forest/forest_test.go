@@ -91,3 +91,7 @@ func BenchmarkForestFit(b *testing.B) {
 		}
 	}
 }
+
+func TestForestParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{Seed: 3, NumTrees: 10}) }, 7)
+}

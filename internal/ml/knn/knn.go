@@ -5,6 +5,8 @@
 package knn
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"transer/internal/kdtree"
@@ -31,7 +33,10 @@ func (c Config) withDefaults() Config {
 type KNN struct {
 	cfg  Config
 	tree *kdtree.Tree
-	y    []int
+	// x holds the indexed rows (the same slices the tree references),
+	// retained so Params can export the training set.
+	x [][]float64
+	y []int
 }
 
 // New creates an untrained classifier.
@@ -54,7 +59,46 @@ func (k *KNN) Fit(x [][]float64, y []int) error {
 		rows[i] = append([]float64(nil), r...)
 	}
 	k.tree = kdtree.Build(rows)
+	k.x = rows
 	k.y = append([]int(nil), y...)
+	return nil
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (k *KNN) ClassifierType() string { return "knn" }
+
+// Params is the serialised state of a trained KNN: the configuration
+// and the indexed training set. The KD-tree itself is not serialised —
+// kdtree.Build is deterministic for a fixed row order, so rebuilding
+// from the exported rows reproduces the index (and therefore the
+// predictions) exactly.
+type Params struct {
+	Config Config      `json:"config"`
+	X      [][]float64 `json:"x"`
+	Y      []int       `json:"y"`
+}
+
+// Params implements ml.ParamClassifier.
+func (k *KNN) Params() ([]byte, error) {
+	if k.tree == nil {
+		return nil, ml.ErrNotTrained
+	}
+	return json.Marshal(Params{Config: k.cfg, X: k.x, Y: k.y})
+}
+
+// SetParams implements ml.ParamClassifier.
+func (k *KNN) SetParams(b []byte) error {
+	var p Params
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("knn: params: %w", err)
+	}
+	if len(p.X) == 0 || len(p.X) != len(p.Y) {
+		return fmt.Errorf("knn: params carry %d rows but %d labels", len(p.X), len(p.Y))
+	}
+	k.cfg = p.Config.withDefaults()
+	k.tree = kdtree.Build(p.X)
+	k.x = p.X
+	k.y = p.Y
 	return nil
 }
 

@@ -93,3 +93,7 @@ func BenchmarkKNNPredict(b *testing.B) {
 		k.PredictProba(q)
 	}
 }
+
+func TestKNNParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{DistanceWeighted: true}) }, 7)
+}

@@ -4,6 +4,8 @@
 package logreg
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"transer/internal/ml"
@@ -135,4 +137,38 @@ func (l *LogReg) PredictProba(x [][]float64) []float64 {
 // model inspection).
 func (l *LogReg) Weights() ([]float64, float64) {
 	return append([]float64(nil), l.w...), l.bias
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (l *LogReg) ClassifierType() string { return "logreg" }
+
+// Params is the serialised state of a trained LogReg: the configuration
+// plus the learned weight vector and bias.
+type Params struct {
+	Config Config    `json:"config"`
+	W      []float64 `json:"w"`
+	Bias   float64   `json:"bias"`
+}
+
+// Params implements ml.ParamClassifier.
+func (l *LogReg) Params() ([]byte, error) {
+	if l.w == nil {
+		return nil, ml.ErrNotTrained
+	}
+	return json.Marshal(Params{Config: l.cfg, W: l.w, Bias: l.bias})
+}
+
+// SetParams implements ml.ParamClassifier.
+func (l *LogReg) SetParams(b []byte) error {
+	var p Params
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("logreg: params: %w", err)
+	}
+	if len(p.W) == 0 {
+		return fmt.Errorf("logreg: params carry no weight vector")
+	}
+	l.cfg = p.Config.withDefaults()
+	l.w = p.W
+	l.bias = p.Bias
+	return nil
 }

@@ -133,3 +133,7 @@ func BenchmarkLogRegFit(b *testing.B) {
 		}
 	}
 }
+
+func TestLogRegParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{ClassWeight: true}) }, 7)
+}

@@ -11,6 +11,7 @@
 package ml
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -33,6 +34,31 @@ type Classifier interface {
 // classifiers per run (GEN and TCL), so it takes factories rather than
 // instances.
 type Factory func() Classifier
+
+// ParamClassifier is a Classifier whose learned state can be exported
+// and re-imported, the surface internal/model builds versioned model
+// artifacts on. The contract is exactness: for a trained classifier c,
+// a fresh instance restored with SetParams(c.Params()) must predict
+// byte-identically to c on every input.
+type ParamClassifier interface {
+	Classifier
+	// ClassifierType returns the stable identifier stored in model
+	// artifacts ("logreg", "forest", ...). It never changes for a
+	// given implementation once released.
+	ClassifierType() string
+	// Params serialises the learned state (plus whatever configuration
+	// prediction needs) as a JSON document. It returns ErrNotTrained
+	// when called before a successful Fit.
+	Params() ([]byte, error)
+	// SetParams restores a previously exported state into this
+	// instance, replacing any trained state. After SetParams the
+	// classifier predicts exactly as the exporting instance did.
+	SetParams([]byte) error
+}
+
+// ErrNotTrained is returned by Params when the classifier has not been
+// fitted (there is no learned state to export).
+var ErrNotTrained = errors.New("ml: classifier is not trained")
 
 // Named pairs a factory with a display name for experiment tables.
 type Named struct {
@@ -115,6 +141,30 @@ func (c *Constant) PredictProba(x [][]float64) []float64 {
 		out[i] = c.P
 	}
 	return out
+}
+
+// ClassifierType implements ParamClassifier.
+func (c *Constant) ClassifierType() string { return "constant" }
+
+// constantParams is the serialised state of a Constant.
+type constantParams struct {
+	P float64 `json:"p"`
+}
+
+// Params implements ParamClassifier. A Constant is always "trained":
+// its probability is its entire state.
+func (c *Constant) Params() ([]byte, error) {
+	return json.Marshal(constantParams{P: c.P})
+}
+
+// SetParams implements ParamClassifier.
+func (c *Constant) SetParams(b []byte) error {
+	var p constantParams
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("ml: constant params: %w", err)
+	}
+	c.P = p.P
+	return nil
 }
 
 // parallelProbaMinRows is the batch size below which chunked

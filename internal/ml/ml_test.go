@@ -99,3 +99,27 @@ type alwaysErr struct{}
 
 func (a *alwaysErr) Fit(x [][]float64, y []int) error     { return errors.New("boom") }
 func (a *alwaysErr) PredictProba(x [][]float64) []float64 { return nil }
+
+// Constant is the one ParamClassifier that is always trained (its
+// probability is its whole state), so it gets a dedicated round-trip
+// test instead of the shared mltest checker.
+func TestConstantParamsRoundTrip(t *testing.T) {
+	orig := &Constant{P: 0.125}
+	b, err := orig.Params()
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	restored := &Constant{}
+	if err := restored.SetParams(b); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	if restored.P != orig.P {
+		t.Fatalf("restored P = %v, want %v", restored.P, orig.P)
+	}
+	if restored.ClassifierType() != "constant" {
+		t.Fatalf("type %q", restored.ClassifierType())
+	}
+	if err := restored.SetParams([]byte("nope")); err == nil {
+		t.Fatalf("SetParams accepted malformed JSON")
+	}
+}

@@ -1,8 +1,17 @@
 // Package mltest provides shared synthetic classification problems for
-// testing the classifier implementations.
+// testing the classifier implementations, plus the shared
+// export→import→predict exactness check every ml.ParamClassifier must
+// pass (the contract internal/model's artifacts rely on).
 package mltest
 
-import "math/rand"
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"transer/internal/ml"
+)
 
 // TwoBlobs generates a linearly separable-ish binary problem: class 1
 // centred at (0.8, ..., 0.8), class 0 at (0.2, ..., 0.2), with the
@@ -51,6 +60,55 @@ func XOR(n int, jitter float64, seed int64) (x [][]float64, y []int) {
 		}
 	}
 	return x, y
+}
+
+// CheckParamRoundTrip asserts the ParamClassifier contract for one
+// implementation: Params before Fit returns ml.ErrNotTrained; after
+// Fit, a fresh instance restored via SetParams predicts bitwise
+// identically to the trained original on held-out rows; and the
+// restored instance re-exports byte-identical params (export is a
+// fixed point). fresh must return a new untrained instance with the
+// same configuration each call.
+func CheckParamRoundTrip(tb testing.TB, fresh func() ml.ParamClassifier, seed int64) {
+	tb.Helper()
+	orig := fresh()
+	if _, err := orig.Params(); !errors.Is(err, ml.ErrNotTrained) {
+		tb.Fatalf("%s: Params before Fit returned %v, want ml.ErrNotTrained", orig.ClassifierType(), err)
+	}
+	xTrain, yTrain := TwoBlobs(200, 4, 0.15, seed)
+	xEval, _ := TwoBlobs(97, 4, 0.25, seed+1)
+	if err := orig.Fit(xTrain, yTrain); err != nil {
+		tb.Fatalf("%s: Fit: %v", orig.ClassifierType(), err)
+	}
+	params, err := orig.Params()
+	if err != nil {
+		tb.Fatalf("%s: Params after Fit: %v", orig.ClassifierType(), err)
+	}
+	restored := fresh()
+	if err := restored.SetParams(params); err != nil {
+		tb.Fatalf("%s: SetParams: %v", orig.ClassifierType(), err)
+	}
+	if got, want := restored.ClassifierType(), orig.ClassifierType(); got != want {
+		tb.Fatalf("restored classifier type %q, want %q", got, want)
+	}
+	want := orig.PredictProba(xEval)
+	got := restored.PredictProba(xEval)
+	for i := range want {
+		if want[i] != got[i] {
+			tb.Fatalf("%s: restored proba[%d] = %v, original %v (must be bitwise identical)",
+				orig.ClassifierType(), i, got[i], want[i])
+		}
+	}
+	reexport, err := restored.Params()
+	if err != nil {
+		tb.Fatalf("%s: re-export: %v", orig.ClassifierType(), err)
+	}
+	if !bytes.Equal(params, reexport) {
+		tb.Fatalf("%s: re-exported params differ from the original export", orig.ClassifierType())
+	}
+	if err := restored.SetParams([]byte("{not json")); err == nil {
+		tb.Fatalf("%s: SetParams accepted malformed JSON", orig.ClassifierType())
+	}
 }
 
 // Accuracy returns the fraction of probabilities on the correct side

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
 
 	"transer/internal/ml"
@@ -71,6 +73,56 @@ func (m *MLP) Fit(x [][]float64, y []int) error {
 			m.layers.backward([]float64{p - float64(y[i])}, m.cfg.LearningRate)
 		}
 	}
+	return nil
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (m *MLP) ClassifierType() string { return "mlp" }
+
+// MLPParams is the serialised state of a trained MLP: the configuration
+// and every layer's weights in input-to-output order.
+type MLPParams struct {
+	Config MLPConfig     `json:"config"`
+	Layers []LayerParams `json:"layers"`
+}
+
+// Params implements ml.ParamClassifier.
+func (m *MLP) Params() ([]byte, error) {
+	if m.layers == nil {
+		return nil, ml.ErrNotTrained
+	}
+	p := MLPParams{Config: m.cfg, Layers: make([]LayerParams, len(m.layers))}
+	for i, l := range m.layers {
+		p.Layers[i] = l.params()
+	}
+	return json.Marshal(p)
+}
+
+// SetParams implements ml.ParamClassifier.
+func (m *MLP) SetParams(b []byte) error {
+	var p MLPParams
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("nn: mlp params: %w", err)
+	}
+	if len(p.Layers) == 0 {
+		return fmt.Errorf("nn: mlp params carry no layers")
+	}
+	layers := make(stack, len(p.Layers))
+	for i, lp := range p.Layers {
+		l, err := denseFromParams(lp)
+		if err != nil {
+			return fmt.Errorf("nn: mlp layer %d: %w", i, err)
+		}
+		if i > 0 && l.in != layers[i-1].out {
+			return fmt.Errorf("nn: mlp layer %d expects %d inputs, previous layer emits %d", i, l.in, layers[i-1].out)
+		}
+		layers[i] = l
+	}
+	if last := layers[len(layers)-1]; last.out != 1 {
+		return fmt.Errorf("nn: mlp output layer emits %d units, want 1", last.out)
+	}
+	m.cfg = p.Config.withDefaults()
+	m.layers = layers
 	return nil
 }
 

@@ -8,6 +8,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -127,6 +128,31 @@ func (d *dense) update(gradOut []float64, lr float64) {
 		}
 		d.b[o] -= lr * g
 	}
+}
+
+// LayerParams is the serialised state of one dense layer.
+type LayerParams struct {
+	In   int       `json:"in"`
+	Out  int       `json:"out"`
+	ReLU bool      `json:"relu"`
+	W    []float64 `json:"w"`
+	B    []float64 `json:"b"`
+}
+
+// params exports the layer's weights for model serialisation.
+func (d *dense) params() LayerParams {
+	return LayerParams{In: d.in, Out: d.out, ReLU: d.relu, W: d.w, B: d.b}
+}
+
+// denseFromParams restores a layer from exported weights.
+func denseFromParams(p LayerParams) (*dense, error) {
+	if p.In < 1 || p.Out < 1 {
+		return nil, fmt.Errorf("nn: layer dims %dx%d", p.In, p.Out)
+	}
+	if len(p.W) != p.In*p.Out || len(p.B) != p.Out {
+		return nil, fmt.Errorf("nn: layer %dx%d has %d weights and %d biases", p.In, p.Out, len(p.W), len(p.B))
+	}
+	return &dense{in: p.In, out: p.Out, relu: p.ReLU, w: p.W, b: p.B}, nil
 }
 
 // stack is a sequence of dense layers.

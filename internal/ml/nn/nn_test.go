@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"transer/internal/ml"
 	"transer/internal/ml/mltest"
 )
 
@@ -178,4 +179,8 @@ func BenchmarkMLPFit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestMLPParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return NewMLP(MLPConfig{Seed: 3, Epochs: 20}) }, 7)
 }

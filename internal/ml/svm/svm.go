@@ -5,6 +5,8 @@
 package svm
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -176,4 +178,42 @@ func (s *SVM) PredictProba(x [][]float64) []float64 {
 		scores[i] = sigmoid(s.plattA*sc + s.plattB)
 	}
 	return scores
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (s *SVM) ClassifierType() string { return "svm" }
+
+// Params is the serialised state of a trained SVM: the configuration,
+// the learned margin and the Platt calibration.
+type Params struct {
+	Config Config    `json:"config"`
+	W      []float64 `json:"w"`
+	Bias   float64   `json:"bias"`
+	PlattA float64   `json:"platt_a"`
+	PlattB float64   `json:"platt_b"`
+}
+
+// Params implements ml.ParamClassifier.
+func (s *SVM) Params() ([]byte, error) {
+	if s.w == nil {
+		return nil, ml.ErrNotTrained
+	}
+	return json.Marshal(Params{Config: s.cfg, W: s.w, Bias: s.bias, PlattA: s.plattA, PlattB: s.plattB})
+}
+
+// SetParams implements ml.ParamClassifier.
+func (s *SVM) SetParams(b []byte) error {
+	var p Params
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("svm: params: %w", err)
+	}
+	if len(p.W) == 0 {
+		return fmt.Errorf("svm: params carry no weight vector")
+	}
+	s.cfg = p.Config.withDefaults()
+	s.w = p.W
+	s.bias = p.Bias
+	s.plattA = p.PlattA
+	s.plattB = p.PlattB
+	return nil
 }

@@ -110,3 +110,7 @@ func BenchmarkSVMFit(b *testing.B) {
 		}
 	}
 }
+
+func TestSVMParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{Seed: 3}) }, 7)
+}

@@ -5,6 +5,8 @@
 package tree
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -234,6 +236,93 @@ func (t *Tree) predictOne(row []float64) float64 {
 		}
 	}
 	return n.proba
+}
+
+// ClassifierType implements ml.ParamClassifier.
+func (t *Tree) ClassifierType() string { return "dtree" }
+
+// NodeParams is the serialised form of one tree node: either a leaf
+// (Leaf true, Proba set) or an internal split with two children.
+type NodeParams struct {
+	Leaf      bool        `json:"leaf,omitempty"`
+	Proba     float64     `json:"proba,omitempty"`
+	Feature   int         `json:"feature,omitempty"`
+	Threshold float64     `json:"threshold,omitempty"`
+	Left      *NodeParams `json:"left,omitempty"`
+	Right     *NodeParams `json:"right,omitempty"`
+}
+
+// Params is the serialised state of a trained Tree.
+type Params struct {
+	Config Config      `json:"config"`
+	Dim    int         `json:"dim"`
+	Root   *NodeParams `json:"root"`
+}
+
+func nodeParams(n *node) *NodeParams {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		return &NodeParams{Leaf: true, Proba: n.proba}
+	}
+	return &NodeParams{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      nodeParams(n.left),
+		Right:     nodeParams(n.right),
+	}
+}
+
+func nodeFromParams(p *NodeParams, dim int) (*node, error) {
+	if p == nil {
+		return nil, fmt.Errorf("tree: missing node")
+	}
+	if p.Leaf {
+		return &node{leaf: true, proba: p.Proba}, nil
+	}
+	if p.Feature < 0 || p.Feature >= dim {
+		return nil, fmt.Errorf("tree: split feature %d out of range [0,%d)", p.Feature, dim)
+	}
+	left, err := nodeFromParams(p.Left, dim)
+	if err != nil {
+		return nil, err
+	}
+	right, err := nodeFromParams(p.Right, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: p.Feature, threshold: p.Threshold, left: left, right: right}, nil
+}
+
+// Params implements ml.ParamClassifier.
+func (t *Tree) Params() ([]byte, error) {
+	if t.root == nil {
+		return nil, ml.ErrNotTrained
+	}
+	return json.Marshal(Params{Config: t.cfg, Dim: t.dim, Root: nodeParams(t.root)})
+}
+
+// SetParams implements ml.ParamClassifier. Prediction walks only the
+// restored node structure, so the RNG (a fit-time concern) is reset.
+func (t *Tree) SetParams(b []byte) error {
+	var p Params
+	if err := json.Unmarshal(b, &p); err != nil {
+		return fmt.Errorf("tree: params: %w", err)
+	}
+	if p.Dim < 1 {
+		return fmt.Errorf("tree: params dim %d", p.Dim)
+	}
+	root, err := nodeFromParams(p.Root, p.Dim)
+	if err != nil {
+		return err
+	}
+	cfg := p.Config.withDefaults()
+	t.cfg = cfg
+	t.rng = rand.New(rand.NewSource(cfg.Seed))
+	t.dim = p.Dim
+	t.root = root
+	return nil
 }
 
 // Depth returns the depth of the trained tree (0 for a single leaf).

@@ -2,6 +2,7 @@ package tree
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"transer/internal/ml"
@@ -133,5 +134,30 @@ func BenchmarkTreeFit(b *testing.B) {
 		if err := tr.Fit(x, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestTreeParamsRoundTrip(t *testing.T) {
+	mltest.CheckParamRoundTrip(t, func() ml.ParamClassifier { return New(Config{Seed: 3}) }, 7)
+}
+
+func TestTreeSetParamsRejectsBadFeature(t *testing.T) {
+	tr := New(Config{})
+	x, y := mltest.TwoBlobs(100, 3, 0.1, 1)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	b, err := tr.Params()
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	// Corrupt a split's feature index to point outside the feature
+	// space; SetParams must reject the document.
+	bad := []byte(strings.Replace(string(b), `"feature":`, `"feature":9`, 1))
+	if !strings.Contains(string(b), `"feature":`) {
+		t.Skip("tree degenerated to a single leaf; no split to corrupt")
+	}
+	if err := New(Config{}).SetParams(bad); err == nil {
+		t.Fatalf("SetParams accepted a split feature outside the declared dim")
 	}
 }

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"fmt"
+
+	"transer/internal/compare"
+	"transer/internal/dataset"
+	"transer/internal/ml"
+)
+
+// Matcher is a loaded artifact ready to score record pairs: the
+// rebuilt schema and comparison scheme plus the restored classifier.
+// A Matcher is immutable after construction and safe for concurrent
+// use (scoring never mutates the classifier).
+type Matcher struct {
+	Artifact   *Artifact
+	Schema     dataset.Schema
+	Scheme     compare.Scheme
+	Classifier ml.ParamClassifier
+
+	attrIndex map[string]int
+}
+
+// NewMatcher assembles the runtime form of an artifact.
+func NewMatcher(a *Artifact) (*Matcher, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	schema, err := a.RecordSchema()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := a.BuildScheme()
+	if err != nil {
+		return nil, err
+	}
+	clf, err := a.NewClassifier()
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int, len(schema.Attributes))
+	for i, attr := range schema.Attributes {
+		idx[attr.Name] = i
+	}
+	return &Matcher{Artifact: a, Schema: schema, Scheme: scheme, Classifier: clf, attrIndex: idx}, nil
+}
+
+// LoadMatcher reads an artifact from disk and assembles its matcher.
+func LoadMatcher(path string) (*Matcher, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewMatcher(a)
+}
+
+// RecordFromValues builds a schema-conformant record from an
+// attribute→value map. Attributes absent from the map are empty (the
+// scheme's missing-value policy applies); keys that are not schema
+// attributes are an error so client typos surface instead of silently
+// scoring a half-empty pair.
+func (m *Matcher) RecordFromValues(values map[string]string) (dataset.Record, error) {
+	r := dataset.Record{Values: make([]string, len(m.Schema.Attributes))}
+	for k, v := range values {
+		i, ok := m.attrIndex[k]
+		if !ok {
+			return dataset.Record{}, fmt.Errorf("model: unknown attribute %q (schema has %v)", k, m.AttributeNames())
+		}
+		r.Values[i] = v
+	}
+	return r, nil
+}
+
+// AttributeNames returns the schema attribute names in order.
+func (m *Matcher) AttributeNames() []string {
+	out := make([]string, len(m.Schema.Attributes))
+	for i, a := range m.Schema.Attributes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Vector computes the comparison feature vector of one record pair,
+// exactly as training did.
+func (m *Matcher) Vector(a, b dataset.Record) []float64 {
+	return m.Scheme.Pair(a, b)
+}
+
+// Score returns match probabilities for a batch of feature vectors,
+// chunked over up to the given worker count (0 means one per CPU).
+// The output is bitwise identical for every worker count.
+func (m *Matcher) Score(x [][]float64, workers int) []float64 {
+	return ml.ParallelProba(m.Classifier, x, workers)
+}
+
+// Decide applies the artifact's decision threshold.
+func (m *Matcher) Decide(p float64) bool { return p >= m.Artifact.Threshold }

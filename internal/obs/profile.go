@@ -59,12 +59,12 @@ func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err e
 			if err != nil {
 				return fmt.Errorf("obs: memprofile: %w", err)
 			}
-			defer f.Close()
 			runtime.GC() // up-to-date allocation statistics
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
 				return fmt.Errorf("obs: memprofile: %w", err)
 			}
-			return nil
+			return f.Close()
 		})
 	}
 

@@ -8,6 +8,7 @@ import (
 
 	"transer/internal/blocking"
 	"transer/internal/compare"
+	"transer/internal/dataset"
 )
 
 // Fingerprint is the deterministic cache key of one stage artifact:
@@ -38,20 +39,49 @@ func blockKey(gen Fingerprint, cfg blocking.MinHashConfig) string {
 		gen[:], c.NumHashes, c.Bands, c.Q, c.Attrs, c.Seed, c.MaxBucketSize)
 }
 
-// compareKey identifies a feature matrix: the candidate pairs it was
-// computed over plus the comparison scheme signature. Scheme.Workers
-// is deliberately excluded — the matrix is byte-identical for every
-// worker count (the parallel package's determinism guarantee), so a
-// hit computed at one worker count is exactly the artifact any other
-// count would rebuild.
-func compareKey(block Fingerprint, s compare.Scheme) string {
+// SchemeSignature is the canonical description of a comparison scheme:
+// the (attribute index, comparator name) list plus the missing-value
+// policy and quantisation step. Scheme.Workers is deliberately
+// excluded — the matrix is byte-identical for every worker count (the
+// parallel package's determinism guarantee). It doubles as the
+// compatibility check of model artifacts (internal/model): a model may
+// only score vectors produced by a scheme with the same signature.
+func SchemeSignature(s compare.Scheme) string {
 	var sig strings.Builder
 	for _, c := range s.Comparators {
 		fmt.Fprintf(&sig, "(%d:%s)", c.Attr, c.Name)
 	}
-	return fmt.Sprintf("compare|%x|comparators=%s|missing=%d|quantize=%g",
-		block[:], sig.String(), s.Missing, s.Quantize)
+	return fmt.Sprintf("comparators=%s|missing=%d|quantize=%g",
+		sig.String(), s.Missing, s.Quantize)
 }
+
+// compareKey identifies a feature matrix: the candidate pairs it was
+// computed over plus the comparison scheme signature.
+func compareKey(block Fingerprint, s compare.Scheme) string {
+	return fmt.Sprintf("compare|%x|%s", block[:], SchemeSignature(s))
+}
+
+// DataFingerprint hashes a database's full content — schema attribute
+// names and types, then every record's id, entity id and values — into
+// the provenance fingerprint model artifacts carry. The display Name
+// is excluded so renaming a CSV does not change the fingerprint.
+func DataFingerprint(db *dataset.Database) Fingerprint {
+	h := sha256.New()
+	fmt.Fprintf(h, "data|attrs=")
+	for _, a := range db.Schema.Attributes {
+		fmt.Fprintf(h, "(%s:%s)", a.Name, a.Type)
+	}
+	for _, r := range db.Records {
+		fmt.Fprintf(h, "|%s|%s|%q", r.ID, r.EntityID, r.Values)
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// Hex renders the full fingerprint as hex (String keeps the short
+// diagnostic form).
+func (f Fingerprint) Hex() string { return hex.EncodeToString(f[:]) }
 
 // labelKey identifies a pair label vector: labels are a pure function
 // of the blocked pairs and the generated data's ground truth, both of

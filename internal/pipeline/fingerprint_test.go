@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"testing"
 
 	"transer/internal/blocking"
@@ -121,5 +122,71 @@ func TestCatalogCoversBuiltins(t *testing.T) {
 	}
 	if len(RepresentativeTaskRefs()) != 3 {
 		t.Errorf("representative task refs = %d, want 3", len(RepresentativeTaskRefs()))
+	}
+}
+
+func TestDataFingerprint(t *testing.T) {
+	db := &dataset.Database{
+		Name:   "a",
+		Schema: dataset.Schema{Attributes: []dataset.Attribute{{Name: "n", Type: dataset.AttrName}}},
+		Records: []dataset.Record{
+			{ID: "r1", EntityID: "e1", Values: []string{"ann"}},
+			{ID: "r2", EntityID: "e2", Values: []string{"bob"}},
+		},
+	}
+	base := DataFingerprint(db)
+	if base.Hex() == "" || len(base.Hex()) != 64 {
+		t.Fatalf("Hex() = %q, want 64 hex chars", base.Hex())
+	}
+
+	// The display name must not matter.
+	renamed := *db
+	renamed.Name = "other"
+	if DataFingerprint(&renamed) != base {
+		t.Errorf("renaming the database changed the fingerprint")
+	}
+
+	// Any content change must.
+	changedVal := *db
+	changedVal.Records = append([]dataset.Record(nil), db.Records...)
+	changedVal.Records[1] = dataset.Record{ID: "r2", EntityID: "e2", Values: []string{"rob"}}
+	if DataFingerprint(&changedVal) == base {
+		t.Errorf("changing a value did not change the fingerprint")
+	}
+	changedEnt := *db
+	changedEnt.Records = append([]dataset.Record(nil), db.Records...)
+	changedEnt.Records[1] = dataset.Record{ID: "r2", EntityID: "e9", Values: []string{"bob"}}
+	if DataFingerprint(&changedEnt) == base {
+		t.Errorf("changing an entity id did not change the fingerprint")
+	}
+	changedSchema := *db
+	changedSchema.Schema = dataset.Schema{Attributes: []dataset.Attribute{{Name: "n", Type: dataset.AttrText}}}
+	if DataFingerprint(&changedSchema) == base {
+		t.Errorf("changing an attribute type did not change the fingerprint")
+	}
+}
+
+func TestSchemeSignature(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "n", Type: dataset.AttrName},
+		{Name: "y", Type: dataset.AttrYear},
+	}}
+	s := compare.DefaultScheme(sch)
+	sig := SchemeSignature(s)
+	for _, want := range []string{"n_jw", "y_yr", "quantize=0.05"} {
+		if !strings.Contains(sig, want) {
+			t.Errorf("signature %q lacks %q", sig, want)
+		}
+	}
+	// Workers must not affect the signature; quantize must.
+	w := s
+	w.Workers = 17
+	if SchemeSignature(w) != sig {
+		t.Errorf("Workers changed the scheme signature")
+	}
+	q := s
+	q.Quantize = 0.01
+	if SchemeSignature(q) == sig {
+		t.Errorf("Quantize did not change the scheme signature")
 	}
 }

@@ -1,0 +1,85 @@
+package serve
+
+// The wire types of the matching API. All endpoints speak JSON; batch
+// results are index-addressed so responses are deterministic and
+// self-describing regardless of internal scoring order.
+
+// MetricsSchemaVersion identifies the GET /metrics response document.
+const MetricsSchemaVersion = "transer.serve.metrics/v1"
+
+// RecordPayload is one record as an attribute→value map. Attribute
+// names must exist in the model's schema; absent attributes score
+// under the scheme's missing-value policy.
+type RecordPayload map[string]string
+
+// MatchRequest is the body of POST /v1/match and one element of a
+// batch request.
+type MatchRequest struct {
+	A RecordPayload `json:"a"`
+	B RecordPayload `json:"b"`
+}
+
+// MatchResponse is the body of a successful POST /v1/match.
+type MatchResponse struct {
+	// Model is the name of the artifact that scored the pair.
+	Model string `json:"model"`
+	// Probability is the classifier's match probability.
+	Probability float64 `json:"probability"`
+	// Match applies the model's decision threshold to Probability.
+	Match bool `json:"match"`
+	// Vector is the comparison feature vector the classifier scored,
+	// aligned with the model's feature names.
+	Vector []float64 `json:"vector"`
+}
+
+// BatchRequest is the body of POST /v1/match/batch.
+type BatchRequest struct {
+	Pairs []MatchRequest `json:"pairs"`
+}
+
+// BatchResult is one scored pair of a batch. Index refers back to the
+// request's Pairs slice.
+type BatchResult struct {
+	Index       int     `json:"index"`
+	Probability float64 `json:"probability"`
+	Match       bool    `json:"match"`
+}
+
+// BatchResponse is the body of a successful POST /v1/match/batch.
+// Results[i].Index == i always holds; the index is kept explicit so
+// clients can verify alignment.
+type BatchResponse struct {
+	Model   string        `json:"model"`
+	Count   int           `json:"count"`
+	Results []BatchResult `json:"results"`
+}
+
+// ModelInfo describes the currently loaded model artifact.
+type ModelInfo struct {
+	Name       string   `json:"name"`
+	Classifier string   `json:"classifier"`
+	CreatedAt  string   `json:"created_at"`
+	LoadedAt   string   `json:"loaded_at"`
+	Path       string   `json:"path,omitempty"`
+	Threshold  float64  `json:"threshold"`
+	Attributes []string `json:"attributes"`
+	Features   []string `json:"features"`
+	Reloads    int64    `json:"reloads"`
+}
+
+// ModelsResponse is the body of GET /v1/models and of a successful
+// POST /v1/models/reload.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Model  string `json:"model"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// errOverloaded is returned by gate.acquire when both the in-flight
+// slots and the waiting queue are full; the handler translates it to
+// 429 with a Retry-After hint.
+var errOverloaded = errors.New("serve: server is at capacity")
+
+// gate is the admission controller: at most `inflight` requests
+// execute concurrently while up to `queue` more wait for a slot.
+// Anything beyond that is shed immediately — under sustained overload
+// the server degrades by rejecting fast rather than by queueing
+// unboundedly and timing everything out.
+type gate struct {
+	slots   chan struct{} // executing requests
+	tickets chan struct{} // executing + waiting requests
+}
+
+func newGate(inflight, queue int) *gate {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &gate{
+		slots:   make(chan struct{}, inflight),
+		tickets: make(chan struct{}, inflight+queue),
+	}
+}
+
+// acquire admits the request or fails: errOverloaded when the queue is
+// full, the context error when the caller gave up while waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.tickets <- struct{}{}:
+	default:
+		return errOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-g.tickets
+		return ctx.Err()
+	}
+}
+
+// release frees the slot and the ticket of an admitted request.
+func (g *gate) release() {
+	<-g.slots
+	<-g.tickets
+}
+
+// inFlight reports the number of currently executing requests.
+func (g *gate) inFlight() int { return len(g.slots) }

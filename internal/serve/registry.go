@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transer/internal/model"
+)
+
+// ModelRegistry holds the currently served model and supports atomic
+// hot reload: a reload builds the full matcher off to the side and
+// swaps it in only on success, so in-flight and subsequent requests
+// always see a complete, validated model. Each request captures the
+// matcher pointer once, so a swap mid-request cannot mix two models'
+// outputs.
+type ModelRegistry struct {
+	path    string
+	reloads atomic.Int64
+
+	mu       sync.RWMutex
+	matcher  *model.Matcher
+	loadedAt time.Time
+}
+
+// NewModelRegistry loads the artifact at path into a registry.
+func NewModelRegistry(path string) (*ModelRegistry, error) {
+	r := &ModelRegistry{path: path}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// StaticRegistry wraps an already-assembled matcher (tests, embedded
+// use). Reload is a no-op error-free refresh of the load time.
+func StaticRegistry(m *model.Matcher) *ModelRegistry {
+	return &ModelRegistry{matcher: m, loadedAt: time.Now()}
+}
+
+// Matcher returns the current matcher. The returned value is immutable
+// and safe to use for the remainder of a request even across reloads.
+func (r *ModelRegistry) Matcher() *model.Matcher {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.matcher
+}
+
+// Reload re-reads the artifact from disk and swaps it in. On failure
+// the previous model keeps serving and the error is returned.
+func (r *ModelRegistry) Reload() error {
+	if r.path == "" {
+		r.mu.Lock()
+		r.loadedAt = time.Now()
+		r.mu.Unlock()
+		return nil
+	}
+	m, err := model.LoadMatcher(r.path)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	first := r.matcher == nil
+	r.matcher = m
+	r.loadedAt = time.Now()
+	r.mu.Unlock()
+	if !first {
+		r.reloads.Add(1)
+	}
+	return nil
+}
+
+// Info describes the loaded model for the /v1/models endpoint.
+func (r *ModelRegistry) Info() ModelInfo {
+	r.mu.RLock()
+	m, loadedAt := r.matcher, r.loadedAt
+	r.mu.RUnlock()
+	a := m.Artifact
+	return ModelInfo{
+		Name:       a.Name,
+		Classifier: a.Classifier.Type,
+		CreatedAt:  a.CreatedAt.UTC().Format(time.RFC3339),
+		LoadedAt:   loadedAt.UTC().Format(time.RFC3339),
+		Path:       r.path,
+		Threshold:  a.Threshold,
+		Attributes: m.AttributeNames(),
+		Features:   m.Scheme.FeatureNames(),
+		Reloads:    r.reloads.Load(),
+	}
+}

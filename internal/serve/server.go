@@ -1,0 +1,358 @@
+// Package serve implements the online matching service: a stdlib-only
+// net/http JSON API that loads a transer.model/v1 artifact
+// (internal/model) and scores record pairs with exactly the decisions
+// the training run produced.
+//
+// Endpoints:
+//
+//	POST /v1/match         score one record pair
+//	POST /v1/match/batch   score N pairs (index-addressed, deterministic)
+//	GET  /v1/models        describe the loaded model
+//	POST /v1/models/reload hot-swap the model from its artifact file
+//	GET  /healthz          liveness probe
+//	GET  /metrics          JSON snapshot of the server's obs registry
+//
+// Operational behaviour: admission control sheds load beyond a bounded
+// in-flight + queue capacity with 429 and a Retry-After hint;
+// every scoring request runs under a per-request context deadline;
+// batch scoring is chunked over the deterministic worker pool
+// (internal/parallel) so responses are byte-identical for every worker
+// count; request spans and request/latency/in-flight metrics flow
+// through internal/obs. Graceful drain is the caller's http.Server
+// Shutdown — handlers hold no state beyond the request.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"transer/internal/obs"
+)
+
+// Config parameterises a Server. The zero value of every field gets a
+// sensible default from New.
+type Config struct {
+	// Registry supplies the model; required.
+	Registry *ModelRegistry
+	// MaxInFlight bounds concurrently executing scoring requests
+	// (default: GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds scoring requests waiting for a slot beyond
+	// MaxInFlight; anything above is shed with 429 (default 64;
+	// negative = no queue, shed as soon as every slot is busy).
+	MaxQueue int
+	// Timeout is the per-request scoring deadline (default 10s).
+	Timeout time.Duration
+	// Workers bounds the scoring worker pool for batch requests
+	// (0 = one per CPU). Responses are identical for every value.
+	Workers int
+	// MaxBatchPairs caps the pairs of one batch request (default 10000).
+	MaxBatchPairs int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// SpanSample caps how many requests record spans under the tracer;
+	// a long-running server must not grow its span tree without bound
+	// (default 256; metrics are always recorded).
+	SpanSample int64
+	// Tracer, when non-nil, receives request spans and owns the metrics
+	// registry surfaced by /metrics. With a nil tracer the server keeps
+	// a private registry, so /metrics works either way.
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxBatchPairs == 0 {
+		c.MaxBatchPairs = 10000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.SpanSample == 0 {
+		c.SpanSample = 256
+	}
+	return c
+}
+
+// Server is the matching service. Construct with New; serve the value
+// of Handler with any http.Server.
+type Server struct {
+	cfg     Config
+	reg     *ModelRegistry
+	gate    *gate
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	started time.Time
+
+	spansTaken atomic.Int64
+
+	// Resolved instruments (hot path touches only atomics).
+	mRequests  *obs.Counter
+	mShed      *obs.Counter
+	mErrors    *obs.Counter
+	mWriteErrs *obs.Counter
+	mInFlight  *obs.Gauge
+	mLatency   *obs.Histogram
+	mBatchSize *obs.Histogram
+}
+
+// New validates the configuration and builds a Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil || cfg.Registry.Matcher() == nil {
+		return nil, errors.New("serve: Config.Registry with a loaded model is required")
+	}
+	metrics := cfg.Tracer.Metrics()
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
+		metrics: metrics,
+		tracer:  cfg.Tracer,
+		started: time.Now(),
+
+		mRequests:  metrics.Counter("serve.requests_total"),
+		mShed:      metrics.Counter("serve.shed_total"),
+		mErrors:    metrics.Counter("serve.errors_total"),
+		mWriteErrs: metrics.Counter("serve.write_errors_total"),
+		mInFlight:  metrics.Gauge("serve.in_flight"),
+		mLatency:   metrics.Histogram("serve.request_seconds", obs.SecondsBuckets()),
+		mBatchSize: metrics.Histogram("serve.batch_pairs", obs.ExpBuckets(1, 4, 10)),
+	}
+	return s, nil
+}
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/match", s.scored("match", s.handleMatch))
+	mux.HandleFunc("POST /v1/match/batch", s.scored("batch", s.handleBatch))
+	return mux
+}
+
+// Metrics exposes the server's registry (for embedding binaries that
+// publish their own instruments alongside).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// requestSpan starts a span for this request unless the sampling
+// budget is spent. The budget keeps a long-running server's span tree
+// bounded; metrics are recorded for every request regardless.
+func (s *Server) requestSpan(route string) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	if s.spansTaken.Add(1) > s.cfg.SpanSample {
+		return nil
+	}
+	return s.tracer.Root().Child("request:" + route)
+}
+
+// scored wraps a scoring handler with admission control, the
+// per-request deadline, and request accounting. Metadata endpoints
+// (health, metrics, models) stay outside the gate so the service can
+// be observed even while saturated.
+func (s *Server) scored(route string, h http.HandlerFunc) http.HandlerFunc {
+	routeRequests := s.metrics.Counter("serve." + route + ".requests_total")
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Add(1)
+		routeRequests.Add(1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if err := s.gate.acquire(ctx); err != nil {
+			if errors.Is(err, errOverloaded) {
+				s.mShed.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Timeout))
+				s.writeError(w, http.StatusTooManyRequests, "server is at capacity, retry later")
+				return
+			}
+			// Deadline or client disconnect while queued.
+			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for capacity")
+			return
+		}
+		s.mInFlight.Set(float64(s.gate.inFlight()))
+		start := time.Now()
+		sp := s.requestSpan(route)
+		defer func() {
+			s.gate.release()
+			s.mInFlight.Set(float64(s.gate.inFlight()))
+			s.mLatency.Observe(time.Since(start).Seconds())
+			sp.End()
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// retryAfterSeconds hints clients to back off for about half the
+// request deadline (at least one second).
+func retryAfterSeconds(timeout time.Duration) string {
+	sec := int(timeout.Seconds() / 2)
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Model:  s.reg.Matcher().Artifact.Name,
+	})
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	Schema        string       `json:"schema"`
+	Model         string       `json:"model"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, MetricsResponse{
+		Schema:        MetricsSchemaVersion,
+		Model:         s.reg.Matcher().Artifact.Name,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Metrics:       s.metrics.Snapshot(),
+	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: []ModelInfo{s.reg.Info()}})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Reload(); err != nil {
+		// The previous model keeps serving; report why the swap failed.
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload failed, previous model still serving: %v", err))
+		return
+	}
+	s.metrics.Counter("serve.reloads_total").Add(1)
+	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: []ModelInfo{s.reg.Info()}})
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	m := s.reg.Matcher()
+	ra, err := m.RecordFromValues(req.A)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "record a: "+err.Error())
+		return
+	}
+	rb, err := m.RecordFromValues(req.B)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "record b: "+err.Error())
+		return
+	}
+	x := m.Vector(ra, rb)
+	p := m.Score([][]float64{x}, 1)[0]
+	s.writeJSON(w, http.StatusOK, MatchResponse{
+		Model:       m.Artifact.Name,
+		Probability: p,
+		Match:       m.Decide(p),
+		Vector:      x,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch request has no pairs")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatchPairs {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", len(req.Pairs), s.cfg.MaxBatchPairs))
+		return
+	}
+	s.mBatchSize.Observe(float64(len(req.Pairs)))
+
+	m := s.reg.Matcher()
+	x := make([][]float64, len(req.Pairs))
+	for i, pair := range req.Pairs {
+		ra, err := m.RecordFromValues(pair.A)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
+			return
+		}
+		rb, err := m.RecordFromValues(pair.B)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
+			return
+		}
+		x[i] = m.Vector(ra, rb)
+	}
+	proba, err := scoreWithContext(r.Context(), m, x, s.cfg.Workers)
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("batch scoring aborted: %v", err))
+		return
+	}
+	resp := BatchResponse{Model: m.Artifact.Name, Count: len(proba), Results: make([]BatchResult, len(proba))}
+	for i, p := range proba {
+		resp.Results[i] = BatchResult{Index: i, Probability: p, Match: m.Decide(p)}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decode parses a JSON request body strictly: unknown fields are an
+// error so client typos surface as 400s instead of silently scoring
+// half-empty records.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// The response is already committed; a failed write means the
+		// client went away. Count it — there is nothing else to do.
+		s.mWriteErrs.Add(1)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status >= 500 {
+		s.mErrors.Add(1)
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -36,5 +36,5 @@ func (c TransER) Run(t *Task, factory ml.Factory) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: res.Labels, Proba: res.Proba}, nil
+	return &Result{Labels: res.Labels, Proba: res.Proba, Classifier: res.Classifier}, nil
 }

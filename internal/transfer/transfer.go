@@ -73,6 +73,11 @@ type Result struct {
 	Labels []int
 	// Proba are match probabilities aligned with Labels.
 	Proba []float64
+	// Classifier is the trained classifier behind Proba, when the
+	// method exposes one (TransER does; baselines with built-in or
+	// transformed-feature-space models leave it nil). It enables model
+	// export via internal/model.
+	Classifier ml.Classifier
 }
 
 // Method is one transfer approach usable by the experiment harness.

@@ -210,6 +210,13 @@ type Result struct {
 	Labels []int
 	// Proba are the match probabilities behind Labels.
 	Proba []float64
+	// Classifier is the trained classifier that produced Proba — the
+	// TCL-phase target classifier, or the GEN-phase one on fallback
+	// paths. It satisfies Proba == Classifier.PredictProba(target.X)
+	// bitwise, so exporting it (internal/model, cmd/transer -model-out)
+	// preserves this run's decisions exactly. Nil for baselines run via
+	// RunMethod that keep their model internal.
+	Classifier Classifier
 	// Stats describes the TransER phases (zero for baselines run via
 	// RunMethod).
 	Stats Stats
@@ -273,5 +280,5 @@ func Transfer(source, target *Domain, opts ...TransferOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: res.Labels, Proba: res.Proba, Stats: res.Stats}, nil
+	return &Result{Labels: res.Labels, Proba: res.Proba, Classifier: res.Classifier, Stats: res.Stats}, nil
 }
