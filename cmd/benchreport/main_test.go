@@ -20,6 +20,9 @@ func TestSummarize(t *testing.T) {
 	for _, cell := range []string{"cell:A", "cell:B"} {
 		c := exp.Child(cell)
 		sel := c.Child("sel")
+		sel.Child("sel_dedup").End()
+		sel.Child("sel_build").End()
+		sel.Child("sel_query").End()
 		sel.End()
 		gen := c.Child("gen")
 		gen.Child("fit").End()
@@ -28,14 +31,24 @@ func TestSummarize(t *testing.T) {
 		c.Child("tcl").End()
 		c.End()
 	}
+	// A third cell whose selection came from the memo: its sel span
+	// carries only a sel_cache child (see core.SelectInstances).
+	hit := exp.Child("cell:C")
+	hitSel := hit.Child("sel")
+	hitSel.Child("sel_cache").End()
+	hitSel.End()
+	hit.Child("gen").End()
+	hit.Child("tcl").End()
+	hit.End()
 	exp.End()
 
 	run := Summarize(obs.BuildReport("experiments", []string{"-exp", "table2"}, tr))
-	if run.Cells != 2 {
-		t.Errorf("cells = %d, want 2", run.Cells)
+	if run.Cells != 3 {
+		t.Errorf("cells = %d, want 3", run.Cells)
 	}
 	wantCounts := map[string]int{
-		"sel": 2, "gen": 2, "tcl": 2, "fit": 2, "predict": 2,
+		"sel": 3, "gen": 3, "tcl": 3, "fit": 2, "predict": 2,
+		"sel_dedup": 2, "sel_build": 2, "sel_query": 2, "sel_cache": 1,
 		"generate": 1, "block": 1,
 	}
 	for phase, want := range wantCounts {

@@ -1,0 +1,124 @@
+package blocking
+
+import "math"
+
+// VectorLSHConfig parameterises MinHash LSH over quantized feature
+// vectors — the approximate-NN substrate of the SEL fast path
+// (DESIGN.md §10). A vector becomes the token set
+// {(coordinate index, round(value/Quant))}; vectors that agree on
+// most quantized coordinates have high token-set Jaccard similarity
+// and collide in at least one band with high probability, exactly the
+// record-shingle scheme CandidatePairs uses.
+type VectorLSHConfig struct {
+	// NumHashes is the MinHash signature length; must be divisible by
+	// Bands. Default 32.
+	NumHashes int
+	// Bands is the number of LSH bands. With the defaults r =
+	// NumHashes/Bands = 2 rows per band, the collision threshold sits
+	// near token Jaccard (1/Bands)^(1/r) ≈ 0.25 — permissive on
+	// purpose, since false candidates are re-ranked exactly. Default 16.
+	Bands int
+	// Quant is the quantisation step; compare matrices in this
+	// repository are quantized to a 0.05 grid (compare.Scheme), so the
+	// default 0.05 makes quantisation lossless on them.
+	Quant float64
+	// Seed drives the random hash coefficients; equal configs hash
+	// identically.
+	Seed int64
+}
+
+func (c VectorLSHConfig) withDefaults() VectorLSHConfig {
+	if c.NumHashes == 0 {
+		c.NumHashes = 32
+	}
+	if c.Bands == 0 {
+		c.Bands = 16
+	}
+	if c.Quant == 0 {
+		c.Quant = 0.05
+	}
+	if c.NumHashes%c.Bands != 0 {
+		panic("blocking: NumHashes must be divisible by Bands")
+	}
+	return c
+}
+
+// VectorLSH hashes quantized feature vectors into LSH band buckets.
+// Construction is deterministic from the config; BandKeys is
+// goroutine-safe.
+type VectorLSH struct {
+	hasher *minHasher
+	bands  int
+	rows   int
+	quant  float64
+}
+
+// NewVectorLSH builds the hash family for the config.
+func NewVectorLSH(cfg VectorLSHConfig) *VectorLSH {
+	cfg = cfg.withDefaults()
+	return &VectorLSH{
+		hasher: newMinHasher(cfg.NumHashes, cfg.Seed),
+		bands:  cfg.Bands,
+		rows:   cfg.NumHashes / cfg.Bands,
+		quant:  cfg.Quant,
+	}
+}
+
+// Bands returns the number of band keys BandKeys emits per vector.
+func (l *VectorLSH) Bands() int { return l.bands }
+
+// BandKeys appends the Bands() LSH bucket keys of vec to dst and
+// returns the extended slice. Vectors with equal quantized coordinate
+// sets get equal keys in every band; in particular +0.0 and -0.0
+// quantize identically. Safe for concurrent use.
+func (l *VectorLSH) BandKeys(dst []uint64, vec []float64) []uint64 {
+	sig := make([]uint64, len(l.hasher.a))
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for j, v := range vec {
+		x := vecToken(j, v, l.quant) % mersennePrime
+		for i := range sig {
+			hv := (l.hasher.a[i]*x + l.hasher.b[i]) % mersennePrime
+			if hv < sig[i] {
+				sig[i] = hv
+			}
+		}
+	}
+	for band := 0; band < l.bands; band++ {
+		dst = append(dst, bandKey(band, sig[band*l.rows:(band+1)*l.rows]))
+	}
+	return dst
+}
+
+// vecToken hashes one (coordinate index, quantisation level) pair
+// into a MinHash token with a splitmix64 finaliser, so levels that
+// differ in any direction yield unrelated tokens.
+func vecToken(j int, v, quant float64) uint64 {
+	var level int64
+	switch {
+	case math.IsNaN(v):
+		// Conversion of NaN to int is platform-defined; pin it.
+		level = math.MinInt64
+	case math.IsInf(v, 1):
+		level = math.MaxInt64
+	case math.IsInf(v, -1):
+		level = math.MinInt64 + 1
+	default:
+		r := math.Round(v / quant)
+		// Clamp before converting: float→int overflow is
+		// platform-defined in Go.
+		switch {
+		case r >= float64(math.MaxInt64):
+			level = math.MaxInt64
+		case r <= float64(math.MinInt64):
+			level = math.MinInt64 + 1
+		default:
+			level = int64(r)
+		}
+	}
+	z := uint64(j+1)*0x9e3779b97f4a7c15 ^ uint64(level)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+
+	"transer/internal/blocking"
+	"transer/internal/kdtree"
+)
+
+// approxIndex answers approximate instance-level k-NN queries for the
+// SELModeApprox engine: candidates come from MinHash-LSH buckets over
+// the 0.05-quantized unique vectors (reusing internal/blocking's hash
+// family), are ranked with the blocked float32 distance kernel, and
+// expand to instances exactly like the exact index. When the buckets
+// cover fewer instances than requested the query falls back to the
+// exact weighted index, so sparse regions never degrade below exact.
+//
+// Determinism: bucket construction iterates unique vectors in order,
+// candidates are sorted before ranking, and all hashing is seeded
+// from the config seed — two runs with equal inputs return equal
+// results (the metamorphic suite pins this).
+type approxIndex struct {
+	ix      *kdtree.WeightedIndex
+	lsh     *blocking.VectorLSH
+	buckets map[uint64][]int32
+	// coords32 mirrors the unique vectors as one contiguous float32
+	// matrix for the blocked kernel; approximate ranking is the one
+	// place narrowed storage is allowed (DESIGN.md §10).
+	coords32 []float32
+	dim      int
+}
+
+func newApproxIndex(ix *kdtree.WeightedIndex, seed int64) *approxIndex {
+	a := &approxIndex{
+		ix:      ix,
+		lsh:     blocking.NewVectorLSH(blocking.VectorLSHConfig{Seed: seed}),
+		buckets: make(map[uint64][]int32),
+	}
+	vecs := ix.Set.Vecs
+	if len(vecs) == 0 {
+		return a
+	}
+	a.dim = len(vecs[0])
+	a.coords32 = make([]float32, len(vecs)*a.dim)
+	keys := make([]uint64, 0, a.lsh.Bands())
+	for u, v := range vecs {
+		for j, x := range v {
+			a.coords32[u*a.dim+j] = float32(x)
+		}
+		keys = a.lsh.BandKeys(keys[:0], v)
+		for _, key := range keys {
+			ids := a.buckets[key]
+			if n := len(ids); n > 0 && ids[n-1] == int32(u) {
+				continue // same vector, colliding bands
+			}
+			a.buckets[key] = append(ids, int32(u))
+		}
+	}
+	return a
+}
+
+// approxMaxCandidates caps the per-query candidate pool. Clustered
+// quantized data can drop most unique vectors into a handful of giant
+// buckets; ranking them all would turn every query into a
+// near-brute-force scan of the unique set (measured: slower than the
+// reference engine at table2 scale 0.5). Buckets join the pool
+// smallest-first — a smaller bucket means a more selective band
+// signature, hence closer candidates — and gathering stops at the
+// cap. The shallow-bucket exact fallback below still guarantees
+// every query covers at least k instances.
+const approxMaxCandidates = 1024
+
+// knn returns an approximate analogue of WeightedIndex.KNN: the k
+// nearest instances among the LSH candidates of q, by (float32
+// distance, unique id) with the same distance-closed boundary
+// handling as the exact path. Safe for concurrent use.
+func (a *approxIndex) knn(q []float64, k int) []kdtree.Neighbour {
+	if k <= 0 {
+		return nil
+	}
+	keys := a.lsh.BandKeys(make([]uint64, 0, a.lsh.Bands()), q)
+	type bucketRef struct {
+		ids  []int32
+		band int
+	}
+	order := make([]bucketRef, 0, len(keys))
+	for band, key := range keys {
+		if ids := a.buckets[key]; len(ids) > 0 {
+			order = append(order, bucketRef{ids: ids, band: band})
+		}
+	}
+	// Size-ascending with band index as the tiebreak keeps gathering
+	// deterministic for equal inputs.
+	sort.Slice(order, func(i, j int) bool {
+		if len(order[i].ids) != len(order[j].ids) {
+			return len(order[i].ids) < len(order[j].ids)
+		}
+		return order[i].band < order[j].band
+	})
+	var cands []int32
+	for _, b := range order {
+		if len(cands) > 0 && len(cands)+len(b.ids) > approxMaxCandidates {
+			break
+		}
+		cands = append(cands, b.ids...)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	uniq := cands[:0]
+	var last int32 = -1
+	weight := 0
+	for _, u := range cands {
+		if u == last {
+			continue
+		}
+		uniq = append(uniq, u)
+		last = u
+		weight += len(a.ix.Set.Members[u])
+	}
+	if weight < k {
+		// Buckets too shallow to even cover k instances: exact fallback.
+		return a.ix.KNN(q, k)
+	}
+
+	q32 := make([]float32, a.dim)
+	for j := 0; j < a.dim && j < len(q); j++ {
+		q32[j] = float32(q[j])
+	}
+	type groupDist struct {
+		u int32
+		d float32
+	}
+	ds := make([]groupDist, len(uniq))
+	for i, u := range uniq {
+		row := a.coords32[int(u)*a.dim : (int(u)+1)*a.dim]
+		ds[i] = groupDist{u: u, d: kdtree.SqDist32(q32, row)}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].u < ds[j].u
+	})
+	// Keep the minimal distance-closed prefix covering k instances.
+	cut, cum := 0, 0
+	for cut < len(ds) && cum < k {
+		cum += len(a.ix.Set.Members[ds[cut].u])
+		cut++
+	}
+	for cut < len(ds) && ds[cut].d == ds[cut-1].d {
+		cut++
+	}
+
+	out := make([]kdtree.Neighbour, 0, k+8)
+	for _, g := range ds[:cut] {
+		mem := a.ix.Set.Members[g.u]
+		take := len(mem)
+		if take > k {
+			take = k
+		}
+		for _, id := range mem[:take] {
+			out = append(out, kdtree.Neighbour{ID: int(id), Dist2: float64(g.d)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist2 != out[j].Dist2 {
+			return out[i].Dist2 < out[j].Dist2
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// SelectionCache memoizes SEL-phase selections across runs that share
+// identical inputs. The selection is a pure function of (xs, ys, xt,
+// selection-relevant config), yet the experiment grids recompute it
+// once per classifier cell — the same task matrices flow through
+// TransER for every classifier, making the grid itself the heaviest
+// source of duplicate SEL work. Entries are content-addressed
+// (SHA-256 over the matrices, labels and config), mirroring the
+// pipeline artifact store's philosophy (DESIGN.md §6): a hit returns
+// bitwise the selection a recompute would produce, so cached and
+// uncached runs render identical output.
+//
+// The cache is opt-in via Config.SELCache and safe for concurrent
+// use. The reference SEL engine is never wired to one by the
+// experiments layer — it reproduces the seed implementation's
+// behavior verbatim, recomputation included (DESIGN.md §10).
+type SelectionCache struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte][]int
+}
+
+// NewSelectionCache returns an empty selection cache.
+func NewSelectionCache() *SelectionCache {
+	return &SelectionCache{m: make(map[[sha256.Size]byte][]int)}
+}
+
+// Len reports the number of distinct selections stored.
+func (c *SelectionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// get returns a copy of the cached selection for key, if any. Copies
+// isolate callers from each other: the selection flows into index
+// arithmetic downstream and must never alias a shared slice.
+func (c *SelectionCache) get(key [sha256.Size]byte) ([]int, bool) {
+	c.mu.Lock()
+	sel, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, len(sel))
+	copy(out, sel)
+	return out, true
+}
+
+// put stores a private copy of sel under key. Concurrent misses on
+// the same key both compute and both store; the results are identical
+// by determinism, so last-write-wins is benign.
+func (c *SelectionCache) put(key [sha256.Size]byte, sel []int) {
+	own := make([]int, len(sel))
+	copy(own, sel)
+	c.mu.Lock()
+	c.m[key] = own
+	c.mu.Unlock()
+}
+
+// selKey fingerprints a SelectInstances call: every input bit and
+// every config field the selection depends on. Workers is excluded
+// (the selection is worker-count-invariant, a tested guarantee) and
+// Obs/SELCache are excluded (pure observers). Lengths prefix each
+// section so structure is unambiguous; floats hash as IEEE bits, so
+// +0.0 and -0.0 — distinct groups in the selector — key differently
+// too.
+func selKey(xs [][]float64, ys []int, xt [][]float64, cfg Config) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) { wInt(int64(math.Float64bits(v))) }
+	wRows := func(rows [][]float64) {
+		wInt(int64(len(rows)))
+		for _, row := range rows {
+			wInt(int64(len(row)))
+			for _, v := range row {
+				wFloat(v)
+			}
+		}
+	}
+	wRows(xs)
+	wInt(int64(len(ys)))
+	for _, y := range ys {
+		wInt(int64(y))
+	}
+	wRows(xt)
+	wInt(int64(cfg.K))
+	wFloat(cfg.TC)
+	wFloat(cfg.TL)
+	wFloat(cfg.TV)
+	flags := int64(0)
+	if cfg.EnableSimV {
+		flags |= 1
+	}
+	if cfg.DisableSimC {
+		flags |= 2
+	}
+	if cfg.DisableSimL {
+		flags |= 4
+	}
+	wInt(flags)
+	wInt(cfg.Seed)
+	h.Write([]byte(cfg.selMode()))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+// The SelectionCache must be invisible in output: a hit returns
+// bitwise the selection a recompute would produce, cached slices
+// never alias caller state, and distinct selection-relevant configs
+// never share an entry.
+
+// TestSelectionCacheHitIdentical: running the same selection twice
+// through one cache yields the uncached selection both times and
+// stores exactly one entry.
+func TestSelectionCacheHitIdentical(t *testing.T) {
+	testkit.Run(t, "selector/cache-hit-identical", 15, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		want := SelectInstances(xs, ys, xt, cfg)
+
+		cache := NewSelectionCache()
+		cfg.SELCache = cache
+		first := SelectInstances(xs, ys, xt, cfg)
+		second := SelectInstances(xs, ys, xt, cfg)
+		if !testkit.EqualInts(first, want) {
+			pt.Errorf("cached miss differs from uncached: %v vs %v", first, want)
+		}
+		if !testkit.EqualInts(second, want) {
+			pt.Errorf("cached hit differs from uncached: %v vs %v", second, want)
+		}
+		if cache.Len() != 1 {
+			pt.Errorf("cache entries = %d, want 1", cache.Len())
+		}
+	})
+}
+
+// TestSelectionCacheReturnIsolated: mutating a returned selection
+// must not corrupt the cache, and two returned selections must not
+// alias each other.
+func TestSelectionCacheReturnIsolated(t *testing.T) {
+	testkit.Run(t, "selector/cache-return-isolated", 1, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		cfg.SELCache = NewSelectionCache()
+
+		first := SelectInstances(xs, ys, xt, cfg)
+		if len(first) == 0 {
+			return // empty selection, nothing to mutate
+		}
+		want := make([]int, len(first))
+		copy(want, first)
+		for i := range first {
+			first[i] = -1
+		}
+		second := SelectInstances(xs, ys, xt, cfg)
+		if !testkit.EqualInts(second, want) {
+			pt.Errorf("hit after caller mutation = %v, want %v", second, want)
+		}
+		for i := range second {
+			second[i] = -2
+		}
+		for i := range first {
+			if first[i] != -1 {
+				pt.Fatalf("returned selections alias each other at %d", i)
+			}
+		}
+	})
+}
+
+// TestSelectionCacheKeySensitivity: any change to a selection-relevant
+// input or parameter must land in a fresh entry, while worker count —
+// selection-invariant by contract — must not.
+func TestSelectionCacheKeySensitivity(t *testing.T) {
+	testkit.Run(t, "selector/cache-key-sensitivity", 1, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		cache := NewSelectionCache()
+		cfg.SELCache = cache
+		SelectInstances(xs, ys, xt, cfg)
+
+		perturb := []struct {
+			name string
+			cfg  func(Config) Config
+		}{
+			{"K", func(c Config) Config { c.K++; return c }},
+			{"TC", func(c Config) Config { c.TC = c.TC / 2; return c }},
+			{"TL", func(c Config) Config { c.TL = c.TL / 2; return c }},
+			{"Seed", func(c Config) Config { c.Seed++; return c }},
+			{"SELMode", func(c Config) Config { c.SELMode = SELModeDedup; return c }},
+			{"DisableSimC", func(c Config) Config { c.DisableSimC = !c.DisableSimC; return c }},
+		}
+		want := 1
+		for _, p := range perturb {
+			SelectInstances(xs, ys, xt, p.cfg(cfg))
+			want++
+			if cache.Len() != want {
+				pt.Errorf("after perturbing %s: cache entries = %d, want %d", p.name, cache.Len(), want)
+			}
+		}
+
+		workers := cfg
+		workers.Workers = cfg.Workers + 3
+		SelectInstances(xs, ys, xt, workers)
+		if cache.Len() != want {
+			pt.Errorf("worker count changed the key: entries = %d, want %d", cache.Len(), want)
+		}
+
+		ys2 := make([]int, len(ys))
+		copy(ys2, ys)
+		ys2[0] = 1 - ys2[0]
+		SelectInstances(xs, ys2, xt, cfg)
+		if cache.Len() != want+1 {
+			pt.Errorf("label flip did not change the key: entries = %d, want %d", cache.Len(), want+1)
+		}
+	})
+}
+
+// TestSelectionCacheConcurrent: many goroutines sharing one cache
+// over a mix of keys race-free and all agree with the uncached
+// answer. Run under -race in CI.
+func TestSelectionCacheConcurrent(t *testing.T) {
+	testkit.Run(t, "selector/cache-concurrent", 1, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		variants := []Config{cfg}
+		for dk := 1; dk <= 3; dk++ {
+			v := cfg
+			v.K = cfg.K + dk
+			variants = append(variants, v)
+		}
+		want := make([][]int, len(variants))
+		for i, v := range variants {
+			want[i] = SelectInstances(xs, ys, xt, v)
+		}
+
+		cache := NewSelectionCache()
+		const rounds = 4
+		got := make([][]int, len(variants)*rounds)
+		var wg sync.WaitGroup
+		for g := range got {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				v := variants[g%len(variants)]
+				v.SELCache = cache
+				got[g] = SelectInstances(xs, ys, xt, v)
+			}(g)
+		}
+		wg.Wait()
+		for g := range got {
+			if !testkit.EqualInts(got[g], want[g%len(variants)]) {
+				pt.Errorf("concurrent selection %d = %v, want %v", g, got[g], want[g%len(variants)])
+			}
+		}
+		if cache.Len() != len(variants) {
+			pt.Errorf("cache entries = %d, want %d", cache.Len(), len(variants))
+		}
+	})
+}

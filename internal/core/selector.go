@@ -41,15 +41,24 @@ func newSelector(xs [][]float64, ys []int, xt [][]float64, cfg Config) *selector
 	}
 	return &selector{
 		xs: xs, ys: ys, xt: xt, cfg: cfg,
-		srcTree: kdtree.Build(xs),
-		tgtTree: kdtree.Build(xt),
-		sqrtM:   math.Sqrt(float64(m)),
+		sqrtM: math.Sqrt(float64(m)),
+	}
+}
+
+// ensureTrees lazily builds the per-instance pointer trees used by
+// the reference engines and the diagnostic per-instance API. The fast
+// paths never build them. Not goroutine-safe: call before fanning out.
+func (s *selector) ensureTrees() {
+	if s.srcTree == nil {
+		s.srcTree = kdtree.Build(s.xs)
+		s.tgtTree = kdtree.Build(s.xt)
 	}
 }
 
 // similaritiesFor computes sim_c, sim_l (and sim_v if enabled) for the
 // source instance at index i.
 func (s *selector) similaritiesFor(i int) InstanceSimilarities {
+	s.ensureTrees()
 	x := s.xs[i]
 	// k nearest source neighbours, excluding the instance itself — its
 	// own label must not inflate its class confidence.
@@ -138,28 +147,63 @@ func (s *selector) accepted(sims InstanceSimilarities) bool {
 	return true
 }
 
-// selectInstances runs the SEL phase in parallel and returns the
-// indices of the transferred instances, in order.
+// selectInstances runs the SEL phase and returns the indices of the
+// transferred instances, in order.
 //
 // Real linkage feature matrices contain heavily repeated vectors
 // (Table 1 of the paper counts them), and the SEL similarities depend
 // on an instance only through its feature vector, its label and its
-// self-exclusion from the source KNN query. Instances are therefore
-// grouped by distinct (vector, label) and each group resolves one
-// shared (k+1)-NN query instead of one KNN query per instance, which
-// turns the O(n) tree searches into O(#distinct groups) without
-// changing any result (see decideGroup for the exact equivalence
-// argument).
+// self-exclusion from the source KNN query. Every engine therefore
+// deduplicates before querying; they differ in what they deduplicate
+// and what index answers the queries (DESIGN.md §10):
+//
+//   - reference: group by (vector, label), one (k+1)-NN pointer-tree
+//     query per group (the original selector, kept as the oracle);
+//   - dedup: group by vector only — the same pointer-tree query also
+//     serves every label class sharing the vector;
+//   - exact (default): group by vector and replace the per-instance
+//     pointer trees with weighted flattened trees over the unique
+//     vectors, so duplicate groups cost one point each instead of
+//     being re-scanned by every query;
+//   - approx: like exact, but candidates come from MinHash-LSH
+//     buckets over the 0.05-quantized vectors and only the bucket
+//     union is ranked (exact fallback when buckets run shallow).
+//
+// All engines run their query stage in parallel over cfg.Workers and
+// record sel_dedup/sel_build/sel_query sub-spans under cfg.Obs. The
+// three exact engines return bitwise-identical selections; see
+// decideGroup and decideVector for the equivalence arguments.
 func (s *selector) selectInstances() []int {
+	keep := make([]bool, len(s.xs))
+	switch s.cfg.selMode() {
+	case SELModeReference:
+		s.selectReference(keep)
+	case SELModeDedup:
+		s.selectDedup(keep)
+	case SELModeApprox:
+		s.selectFlat(keep, true)
+	default:
+		s.selectFlat(keep, false)
+	}
+	out := make([]int, 0, len(keep))
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selectReference is the seed engine: distinct (vector, label) groups
+// against the per-instance pointer trees.
+func (s *selector) selectReference(keep []bool) {
 	n := len(s.xs)
+	dedupSpan := s.cfg.Obs.Child("sel_dedup")
 	byKey := make(map[string]*[]int)
 	var order []*[]int
 	var keyBuf []byte
 	for i := 0; i < n; i++ {
-		keyBuf = keyBuf[:0]
-		for _, v := range s.xs[i] {
-			keyBuf = appendFloatKey(keyBuf, v)
-		}
+		keyBuf = kdtree.VectorKey(keyBuf[:0], s.xs[i])
 		keyBuf = append(keyBuf, byte('0'+s.ys[i]))
 		k := string(keyBuf)
 		g := byKey[k]
@@ -170,20 +214,151 @@ func (s *selector) selectInstances() []int {
 		}
 		*g = append(*g, i)
 	}
+	dedupSpan.SetInt("groups", int64(len(order)))
+	dedupSpan.End()
 
-	keep := make([]bool, n)
+	buildSpan := s.cfg.Obs.Child("sel_build")
+	s.ensureTrees()
+	buildSpan.End()
+
+	querySpan := s.cfg.Obs.Child("sel_query")
 	parallel.ForEachChunk(s.cfg.Workers, len(order), func(lo, hi int) {
 		for _, g := range order[lo:hi] {
 			s.decideGroup(*g, keep)
 		}
 	})
-	out := make([]int, 0, n)
-	for i, k := range keep {
-		if k {
-			out = append(out, i)
+	querySpan.End()
+}
+
+// selectDedup isolates the dedup layer: distinct vectors (all label
+// classes of a vector share one query) against the same pointer trees
+// the reference engine uses.
+func (s *selector) selectDedup(keep []bool) {
+	dedupSpan := s.cfg.Obs.Child("sel_dedup")
+	u := kdtree.Uniq(s.xs)
+	dedupSpan.SetInt("groups", int64(u.Len()))
+	dedupSpan.End()
+
+	buildSpan := s.cfg.Obs.Child("sel_build")
+	s.ensureTrees()
+	buildSpan.End()
+
+	k := s.cfg.K
+	querySpan := s.cfg.Obs.Child("sel_query")
+	parallel.ForEachChunk(s.cfg.Workers, u.Len(), func(lo, hi int) {
+		for ui := lo; ui < hi; ui++ {
+			v := u.Vecs[ui]
+			cand := s.srcTree.KNN(v, k+1, nil)
+			nnT := s.tgtTree.KNN(v, k, nil)
+			s.decideVector(u.Members[ui], cand, nnT, keep)
+		}
+	})
+	querySpan.End()
+}
+
+// selectFlat is the fast path: distinct vectors against weighted
+// flattened trees over the unique vectors of both domains. With
+// approx set, candidate search goes through the LSH index instead
+// (still exactly re-ranked, with exact fallback).
+func (s *selector) selectFlat(keep []bool, approx bool) {
+	dedupSpan := s.cfg.Obs.Child("sel_dedup")
+	uS := kdtree.Uniq(s.xs)
+	uT := kdtree.Uniq(s.xt)
+	dedupSpan.SetInt("groups", int64(uS.Len()))
+	dedupSpan.SetInt("target_groups", int64(uT.Len()))
+	dedupSpan.End()
+
+	buildSpan := s.cfg.Obs.Child("sel_build")
+	ixS := kdtree.NewWeightedIndex(uS)
+	ixT := kdtree.NewWeightedIndex(uT)
+	var lshS, lshT *approxIndex
+	if approx {
+		lshS = newApproxIndex(ixS, s.cfg.Seed)
+		lshT = newApproxIndex(ixT, s.cfg.Seed+1)
+	}
+	buildSpan.End()
+
+	k := s.cfg.K
+	querySpan := s.cfg.Obs.Child("sel_query")
+	parallel.ForEachChunk(s.cfg.Workers, uS.Len(), func(lo, hi int) {
+		for ui := lo; ui < hi; ui++ {
+			v := uS.Vecs[ui]
+			var cand, nnT []kdtree.Neighbour
+			if approx {
+				cand = lshS.knn(v, k+1)
+				nnT = lshT.knn(v, k)
+			} else {
+				cand = ixS.KNN(v, k+1)
+				nnT = ixT.KNN(v, k)
+			}
+			s.decideVector(uS.Members[ui], cand, nnT, keep)
+		}
+	})
+	querySpan.End()
+}
+
+// decideVector writes the SEL decision for every original row sharing
+// one feature vector, given the vector's (k+1)-candidate source
+// window and target neighbourhood. Rows with equal vectors but
+// different labels form independent (vector, label) classes; each
+// class resolves by exactly decideGroup's logic (see its equivalence
+// argument), so a vector costs at most two sims evaluations per label
+// class regardless of its multiplicity.
+func (s *selector) decideVector(members []int32, cand, nnT []kdtree.Neighbour, keep []bool) {
+	k := s.cfg.K
+	type classDecision struct {
+		label           int
+		accIn, accOut   bool
+		haveIn, haveOut bool
+	}
+	classes := make([]classDecision, 0, 2)
+	inCand := func(id int) bool {
+		for _, c := range cand {
+			if c.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m32 := range members {
+		m := int(m32)
+		y := s.ys[m]
+		ci := -1
+		for j := range classes {
+			if classes[j].label == y {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			classes = append(classes, classDecision{label: y})
+			ci = len(classes) - 1
+		}
+		dec := &classes[ci]
+		if inCand(m) {
+			if !dec.haveIn {
+				nnS := make([]kdtree.Neighbour, 0, len(cand)-1)
+				for _, c := range cand {
+					if c.ID != m {
+						nnS = append(nnS, c)
+					}
+				}
+				dec.accIn = s.accepted(s.simsFrom(m, nnS, nnT))
+				dec.haveIn = true
+			}
+			keep[m] = dec.accIn
+		} else {
+			if !dec.haveOut {
+				nnS := cand
+				if len(nnS) > k {
+					nnS = nnS[:k]
+				}
+				dec.accOut = s.accepted(s.simsFrom(m, nnS, nnT))
+				dec.haveOut = true
+			}
+			keep[m] = dec.accOut
 		}
 	}
-	return out
 }
 
 // decideGroup writes the SEL decision for every member of one
@@ -242,15 +417,6 @@ func (s *selector) decideGroup(members []int, keep []bool) {
 	}
 }
 
-// appendFloatKey appends a compact exact encoding of v.
-func appendFloatKey(dst []byte, v float64) []byte {
-	bits := math.Float64bits(v)
-	for sh := 0; sh < 64; sh += 8 {
-		dst = append(dst, byte(bits>>sh))
-	}
-	return dst
-}
-
 // SelectInstances exposes the SEL phase standalone: it returns the
 // indices of the source instances TransER would transfer under cfg.
 // It is used by ablation studies and by callers that want to reuse
@@ -264,7 +430,21 @@ func SelectInstances(xs [][]float64, ys []int, xt [][]float64, cfg Config) []int
 		}
 		return out
 	}
-	return newSelector(xs, ys, xt, cfg).selectInstances()
+	if cfg.SELCache == nil {
+		return newSelector(xs, ys, xt, cfg).selectInstances()
+	}
+	key := selKey(xs, ys, xt, cfg)
+	if sel, ok := cfg.SELCache.get(key); ok {
+		if cfg.Obs != nil {
+			hit := cfg.Obs.Child("sel_cache")
+			hit.SetInt("kept", int64(len(sel)))
+			hit.End()
+		}
+		return sel
+	}
+	sel := newSelector(xs, ys, xt, cfg).selectInstances()
+	cfg.SELCache.put(key, sel)
+	return sel
 }
 
 // Similarities computes the SEL similarity scores for every source

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+// Differential suite across the switchable SEL engines (DESIGN.md
+// §10). The three exact modes — reference (seed grouping), dedup
+// (unique vectors against pointer trees) and exact (weighted flat
+// trees, the default) — must all agree verbatim with the naive
+// per-instance referenceSelect, including under conflicting-label
+// duplicates and signed zeros. The approximate mode only has to be
+// deterministic, close to the exact answer, and exactly equal where
+// its fallback triggers.
+
+// selModesProblem builds a duplicate-heavy grid problem with labels
+// assigned independently of vectors, so identical vectors carry
+// conflicting labels — the regime where the group-decision machinery
+// of each engine is easiest to get wrong.
+func selModesProblem(pt *testkit.T) (xs [][]float64, ys []int, xt [][]float64, cfg Config) {
+	n := 3*pt.Size + 12
+	m := 2 + pt.Rng.Intn(3)
+	xs = testkit.GridMatrix(pt.Rng, n, m)
+	ys = make([]int, n)
+	for i := range ys {
+		ys[i] = pt.Rng.Intn(2)
+	}
+	for k := 0; k < n/3; k++ {
+		xs[pt.Rng.Intn(n)] = xs[pt.Rng.Intn(n)]
+	}
+	xt = testkit.GridMatrix(pt.Rng, n/2+8, m)
+	cfg = Config{
+		K:          []int{3, 5, 7}[pt.Rng.Intn(3)],
+		TC:         []float64{0.5, 0.7, 0.9}[pt.Rng.Intn(3)],
+		TL:         []float64{0.5, 0.7, 0.9}[pt.Rng.Intn(3)],
+		TP:         0.9,
+		B:          3,
+		EnableSimV: pt.Rng.Intn(2) == 0,
+		TV:         0.7,
+		Workers:    1 + pt.Rng.Intn(4),
+	}
+	return xs, ys, xt, cfg
+}
+
+// TestSELModesExactEquivalence: every exact engine returns the exact
+// per-instance selection, bitwise, on duplicate-heavy data.
+func TestSELModesExactEquivalence(t *testing.T) {
+	modes := []string{"", SELModeExact, SELModeDedup, SELModeReference}
+	testkit.Run(t, "selector/modes-exact-equivalence", 20, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		want := referenceSelect(xs, ys, xt, cfg)
+		for _, mode := range modes {
+			cfg.SELMode = mode
+			got := SelectInstances(xs, ys, xt, cfg)
+			if !testkit.EqualInts(got, want) {
+				pt.Errorf("mode %q kept %v, reference kept %v (cfg=%+v)",
+					mode, got, want, cfg)
+				return
+			}
+		}
+	})
+}
+
+// TestSELModeApproxDeterministic: the LSH engine is seeded from
+// cfg.Seed, so repeated runs with an identical config must return an
+// identical selection regardless of Workers.
+func TestSELModeApproxDeterministic(t *testing.T) {
+	testkit.Run(t, "selector/approx-deterministic", 12, func(pt *testkit.T) {
+		xs, ys, xt, cfg := selModesProblem(pt)
+		cfg.SELMode = SELModeApprox
+		cfg.Seed = int64(pt.Rng.Intn(5))
+		first := SelectInstances(xs, ys, xt, cfg)
+		cfg.Workers = 1 + pt.Rng.Intn(4)
+		second := SelectInstances(xs, ys, xt, cfg)
+		if !testkit.EqualInts(first, second) {
+			pt.Errorf("approx selection not deterministic: %v then %v", first, second)
+		}
+	})
+}
+
+// TestSELModeApproxFallbackTinyData: with fewer source instances than
+// k every LSH candidate bucket is lighter than k, so every query takes
+// the exact-fallback branch — the approximate mode must then be
+// byte-identical to the exact engine.
+func TestSELModeApproxFallbackTinyData(t *testing.T) {
+	testkit.Run(t, "selector/approx-fallback", 12, func(pt *testkit.T) {
+		m := 2 + pt.Rng.Intn(3)
+		k := 7
+		n := 2 + pt.Rng.Intn(k-2) // n < k: total candidate weight < k everywhere
+		xs := testkit.GridMatrix(pt.Rng, n, m)
+		ys := make([]int, n)
+		for i := range ys {
+			ys[i] = pt.Rng.Intn(2)
+		}
+		xt := testkit.GridMatrix(pt.Rng, n, m)
+		cfg := Config{K: k, TC: 0.5, TL: 0.5, TP: 0.9, B: 3}
+		cfg.SELMode = SELModeExact
+		want := SelectInstances(xs, ys, xt, cfg)
+		cfg.SELMode = SELModeApprox
+		got := SelectInstances(xs, ys, xt, cfg)
+		if !testkit.EqualInts(got, want) {
+			pt.Errorf("n=%d < k=%d: approx %v, exact %v", n, k, got, want)
+		}
+	})
+}
+
+// TestSELModeApproxOverlapBound is the metamorphic accuracy bound on
+// the approximate engine: over duplicate-heavy quantized problems the
+// per-instance keep/drop decisions must agree with the exact engine on
+// at least 70% of instances. The 0.05 LSH grid aligns with the data's
+// own quantization, so in practice agreement is far higher; the bound
+// only guards against the engine degenerating into noise.
+func TestSELModeApproxOverlapBound(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		xs, ys, xt := quantizedProblem(200, 3, seed)
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.SELMode = SELModeExact
+		exact := SelectInstances(xs, ys, xt, cfg)
+		cfg.SELMode = SELModeApprox
+		approx := SelectInstances(xs, ys, xt, cfg)
+
+		keep := func(sel []int) []bool {
+			b := make([]bool, len(xs))
+			for _, i := range sel {
+				b[i] = true
+			}
+			return b
+		}
+		ke, ka := keep(exact), keep(approx)
+		agree := 0
+		for i := range ke {
+			if ke[i] == ka[i] {
+				agree++
+			}
+		}
+		if ratio := float64(agree) / float64(len(xs)); ratio < 0.7 {
+			t.Errorf("seed %d: approx agrees with exact on %.0f%% of instances (exact kept %d, approx kept %d)",
+				seed, ratio*100, len(exact), len(approx))
+		}
+	}
+}
+
+// TestValidateSELMode: Validate accepts every published mode and
+// rejects anything else.
+func TestValidateSELMode(t *testing.T) {
+	for _, mode := range []string{"", SELModeExact, SELModeDedup, SELModeReference, SELModeApprox} {
+		cfg := DefaultConfig()
+		cfg.SELMode = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.SELMode = "annoy"
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("unknown SELMode accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"transer/internal/kdtree"
 	"transer/internal/testkit"
 )
 
@@ -48,20 +49,21 @@ func TestSelectInstancesPropEquivalence(t *testing.T) {
 	})
 }
 
-// TestAppendFloatKeyDistinguishesSignedZero pins the encoding detail
-// the grouping relies on: +0.0 and -0.0 are different group keys (they
+// TestVectorKeyDistinguishesSignedZero pins the encoding detail the
+// grouping relies on: +0.0 and -0.0 are different group keys (they
 // have different bit patterns), while equal values always produce
-// equal keys.
-func TestAppendFloatKeyDistinguishesSignedZero(t *testing.T) {
-	pos := string(appendFloatKey(nil, 0))
-	neg := string(appendFloatKey(nil, math.Copysign(0, -1)))
+// equal keys. The encoding itself now lives in kdtree.VectorKey; this
+// pins the selector's use of it.
+func TestVectorKeyDistinguishesSignedZero(t *testing.T) {
+	pos := string(kdtree.VectorKey(nil, []float64{0}))
+	neg := string(kdtree.VectorKey(nil, []float64{math.Copysign(0, -1)}))
 	if pos == neg {
 		t.Errorf("+0.0 and -0.0 encode to the same key")
 	}
-	if a, b := string(appendFloatKey(nil, 0.35)), string(appendFloatKey(nil, 0.35)); a != b {
+	if a, b := string(kdtree.VectorKey(nil, []float64{0.35})), string(kdtree.VectorKey(nil, []float64{0.35})); a != b {
 		t.Errorf("equal values encode to different keys")
 	}
-	if len(appendFloatKey(nil, 0.35)) != 8 {
+	if len(kdtree.VectorKey(nil, []float64{0.35})) != 8 {
 		t.Errorf("key must be the fixed 8-byte Float64bits encoding")
 	}
 }

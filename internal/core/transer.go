@@ -46,10 +46,15 @@ func Run(xs [][]float64, ys []int, xt [][]float64, factory ml.Factory, cfg Confi
 	cfg.Obs.SetInt("source_instances", int64(len(xs)))
 	cfg.Obs.SetInt("target_instances", int64(len(xt)))
 
-	// Phase (i): instance selector — lines 1-9 of Algorithm 1.
+	// Phase (i): instance selector — lines 1-9 of Algorithm 1. The
+	// selector records its sel_dedup/sel_build/sel_query sub-phases,
+	// which must nest under the sel span, so it runs with a config
+	// whose Obs handle is the sel span itself.
 	selSpan := cfg.Obs.Child("sel")
 	selStart := time.Now()
-	selected := SelectInstances(xs, ys, xt, cfg)
+	selCfg := cfg
+	selCfg.Obs = selSpan
+	selected := SelectInstances(xs, ys, xt, selCfg)
 	if len(selected) == 0 || singleClass(ys, selected) {
 		// Degenerate selection: fall back to the full source so a
 		// classifier can still be trained. The paper's data never

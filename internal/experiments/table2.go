@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"transer/internal/core"
 	"transer/internal/eval"
 	"transer/internal/parallel"
 	"transer/internal/pipeline"
@@ -36,19 +37,21 @@ type Table2Result struct {
 // reasonable resources. Rendered as "TE" in tables.
 var ErrResourceLimit = errors.New("experiments: resource limit (paper: TE/ME)")
 
-// methods returns the evaluated method set in paper order.
-func methods(seed int64, skipSlow bool) []transfer.Method {
+// methods returns the evaluated method set in paper order. Only
+// TransER consumes the SEL mode; the baselines never touch the
+// selector, so their cells are identical across modes by construction.
+func methods(opts Options) []transfer.Method {
 	ms := []transfer.Method{
-		transfer.TransER{},
+		transfer.TransER{Config: core.Config{SELMode: opts.SELMode, SELCache: opts.selCache}},
 		transfer.Naive{},
 	}
-	if !skipSlow {
-		ms = append(ms, transfer.DTAL{Seed: seed, Epochs: 25})
+	if !opts.SkipSlow {
+		ms = append(ms, transfer.DTAL{Seed: opts.Seed, Epochs: 25})
 	}
 	ms = append(ms,
-		transfer.DR{Seed: seed},
-		transfer.LocIT{Seed: seed},
-		transfer.TCA{Seed: seed},
+		transfer.DR{Seed: opts.Seed},
+		transfer.LocIT{Seed: opts.Seed},
+		transfer.TCA{Seed: opts.Seed},
 		transfer.Coral{},
 	)
 	return ms
@@ -82,7 +85,7 @@ func Table2(opts Options) (*Table2Result, error) {
 	built := parallel.Map(opts.Workers, len(tasks), func(i int) builtTask {
 		return buildTask(st, tasks[i], opts)
 	})
-	ms := methods(opts.Seed, opts.SkipSlow)
+	ms := methods(opts)
 	res := &Table2Result{
 		Rows:  make([]MethodRow, len(built)*len(ms)),
 		Sizes: map[string][2]int{},

@@ -1,0 +1,82 @@
+package kdtree_test
+
+// Fuzz target for the dedup key encoding the SEL fast path groups
+// quantized feature vectors by (DESIGN.md §10). The required
+// properties are exactly what Uniq relies on: keys are stable across
+// calls, fixed-width (8 bytes per coordinate, so no concatenation
+// ambiguity between equal-dimension vectors), and injective on bit
+// patterns — two vectors collide exactly when every coordinate is
+// bitwise identical. The checked-in corpus (testdata/fuzz) seeds the
+// interesting encodings: signed zeros, NaN payloads, denormals.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"transer/internal/kdtree"
+)
+
+// decodeVec reinterprets raw bytes as a float64 vector, little-endian
+// 8-byte chunks, dropping any trailing partial chunk.
+func decodeVec(raw []byte) []float64 {
+	v := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 {
+		v = append(v, math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		raw = raw[8:]
+	}
+	return v
+}
+
+// bitsEqual compares two vectors bit pattern by bit pattern (== would
+// conflate +0.0 with -0.0 and break on NaN).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzVectorKey(f *testing.F) {
+	zero := make([]byte, 8)
+	negZero := []byte{0, 0, 0, 0, 0, 0, 0, 0x80}
+	f.Add(zero, negZero)
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0xf8, 0x7f}, []byte{0, 0, 0, 0, 0, 0, 0xf8, 0x7f}) // NaN payloads
+	f.Add([]byte{0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0xd6, 0x3f}, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		va, vb := decodeVec(rawA), decodeVec(rawB)
+		keyA := kdtree.VectorKey(nil, va)
+		keyB := kdtree.VectorKey(nil, vb)
+		if len(keyA) != 8*len(va) {
+			t.Fatalf("key of %d-vector has %d bytes, want %d", len(va), len(keyA), 8*len(va))
+		}
+		if again := kdtree.VectorKey(nil, va); string(again) != string(keyA) {
+			t.Fatalf("encoding not stable across runs: %x vs %x", again, keyA)
+		}
+		if got, want := string(keyA) == string(keyB), bitsEqual(va, vb); got != want {
+			t.Fatalf("key collision = %v but bitwise vector equality = %v (a=%v b=%v)", got, want, va, vb)
+		}
+		// Appending must extend, not restart: the dst-passing contract
+		// Uniq's reused buffer depends on.
+		joint := kdtree.VectorKey(keyA[:len(keyA):len(keyA)], vb)
+		if string(joint[:len(keyA)]) != string(keyA) || string(joint[len(keyA):]) != string(keyB) {
+			t.Fatalf("append form corrupts existing key bytes")
+		}
+		// Uniq must group by exactly this key.
+		if len(va) == len(vb) && len(va) > 0 {
+			set := kdtree.Uniq([][]float64{va, vb})
+			wantGroups := 2
+			if bitsEqual(va, vb) {
+				wantGroups = 1
+			}
+			if set.Len() != wantGroups {
+				t.Fatalf("Uniq made %d groups, want %d (a=%v b=%v)", set.Len(), wantGroups, va, vb)
+			}
+		}
+	})
+}

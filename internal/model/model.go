@@ -84,6 +84,13 @@ type TrainingSpec struct {
 	DisableSimL   bool    `json:"disable_sim_l,omitempty"`
 	EnableSimV    bool    `json:"enable_sim_v,omitempty"`
 	TV            float64 `json:"tv,omitempty"`
+
+	// SELMode records which SEL engine selected the training
+	// instances (core.SELMode* values; empty = the default exact fast
+	// path). Exact modes cannot change the artifact, but approximate
+	// selection can, so provenance must say which one ran. Omitted
+	// when empty, keeping artifacts from older exports byte-stable.
+	SELMode string `json:"sel_mode,omitempty"`
 }
 
 // TrainingFromConfig converts a core.Config into its serialised form.
@@ -93,6 +100,7 @@ func TrainingFromConfig(c core.Config) TrainingSpec {
 		DisableSEL: c.DisableSEL, DisableGENTCL: c.DisableGENTCL,
 		DisableSimC: c.DisableSimC, DisableSimL: c.DisableSimL,
 		EnableSimV: c.EnableSimV, TV: c.TV,
+		SELMode: c.SELMode,
 	}
 }
 

@@ -1,0 +1,38 @@
+package model_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"transer/internal/core"
+	"transer/internal/model"
+)
+
+// TestTrainingSpecCarriesSELMode: artifact provenance must say which
+// SEL engine selected the training instances — approximate selection
+// can change the trained model — while the empty default stays out of
+// the JSON so artifacts from older exports remain byte-stable.
+func TestTrainingSpecCarriesSELMode(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SELMode = core.SELModeApprox
+	spec := model.TrainingFromConfig(cfg)
+	if spec.SELMode != core.SELModeApprox {
+		t.Fatalf("SELMode = %q, want %q", spec.SELMode, core.SELModeApprox)
+	}
+	withMode, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(withMode), `"sel_mode":"approx"`) {
+		t.Errorf("serialised spec misses sel_mode: %s", withMode)
+	}
+
+	plain, err := json.Marshal(model.TrainingFromConfig(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "sel_mode") {
+		t.Errorf("default spec must omit sel_mode: %s", plain)
+	}
+}

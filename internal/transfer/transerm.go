@@ -23,15 +23,16 @@ func (c TransER) Run(t *Task, factory ml.Factory) (*Result, error) {
 		return nil, err
 	}
 	cfg := c.Config
-	// The zero-value check must ignore the observability handle: a
-	// span-only Config still means "use the paper defaults", and the
-	// substitution must never depend on whether tracing is on.
-	obsSpan := cfg.Obs
-	cfg.Obs = nil
+	// The zero-value check must ignore the observability handle, the
+	// SEL engine choice and the selection cache: a Config carrying
+	// only those still means "use the paper defaults" — none of them
+	// may change which hyper-parameters run.
+	obsSpan, selMode, selCache := cfg.Obs, cfg.SELMode, cfg.SELCache
+	cfg.Obs, cfg.SELMode, cfg.SELCache = nil, "", nil
 	if cfg == (core.Config{}) {
 		cfg = core.DefaultConfig()
 	}
-	cfg.Obs = obsSpan
+	cfg.Obs, cfg.SELMode, cfg.SELCache = obsSpan, selMode, selCache
 	res, err := core.Run(t.XS, t.YS, t.XT, factory, cfg)
 	if err != nil {
 		return nil, err
