@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel bench-query
 
 build:
 	$(GO) build ./...
@@ -127,6 +127,32 @@ bench-sel:
 		.bench-sel/sel-reference.json .bench-sel/sel-dedup.json \
 		.bench-sel/sel-exact.json .bench-sel/sel-approx.json > $(SEL_OUT)
 	@echo "wrote $(SEL_OUT)"
+
+# Query-engine benchmark: one batch similarity join per blocking
+# strategy (auto plus the three forced operators) at serial and full
+# parallelism, each run's operator spans condensed into one
+# BENCH_query.json entry via cmd/benchreport. Compare the per-run
+# block / compare / score phase totals to see where each strategy
+# spends its work; the result sets are identical by the engine's
+# determinism contract (DESIGN.md §11).
+#   make bench-query QUERY_SCALE=0.3
+QUERY_DATASET ?= DBLP-ACM
+QUERY_SCALE ?= 0.3
+QUERY_OUT ?= BENCH_query.json
+bench-query:
+	@mkdir -p .bench-query
+	@for run in auto-1 auto-0 lsh-0 sn-0 canopy-0; do \
+		block=$${run%-*}; workers=$${run#*-}; \
+		echo "== query $(QUERY_DATASET) @ $(QUERY_SCALE), block=$$block workers=$$workers"; \
+		$(GO) run ./cmd/query -dataset $(QUERY_DATASET) -scale $(QUERY_SCALE) \
+			-threshold 0.9 -block $$block -workers $$workers \
+			-out /dev/null -metrics-out .bench-query/query-$$run.json || exit 1; \
+	done
+	$(GO) run ./cmd/benchreport -note "make bench-query: $(QUERY_DATASET) at scale $(QUERY_SCALE), block auto (workers 1/0) then forced lsh/sn/canopy" \
+		.bench-query/query-auto-1.json .bench-query/query-auto-0.json \
+		.bench-query/query-lsh-0.json .bench-query/query-sn-0.json \
+		.bench-query/query-canopy-0.json > $(QUERY_OUT)
+	@echo "wrote $(QUERY_OUT)"
 
 # Short-mode coverage over the whole module, with per-function summary.
 # CI enforces a floor for internal/core and internal/testkit (the

@@ -15,7 +15,10 @@
 // stage spans are named "stage:dataset@scale", aggregated by stage).
 // Reports from cmd/serve aggregate too: its request spans keep their
 // route ("request:match", "request:batch") so the two endpoints stay
-// separable in the summary.
+// separable in the summary. Reports from cmd/query contribute the
+// query-engine operator phases (plan, scan, block, compare, score,
+// filter); "block:<strategy>" spans fold into the shared "block"
+// phase.
 package main
 
 import (
@@ -70,6 +73,11 @@ var phases = map[string]bool{
 	"sel_cache": true,
 	"generate":  true, "block": true, "compare": true, "label": true,
 	"request": true,
+	// Query-engine operators (cmd/query -metrics-out): planning plus
+	// the executed plan's Scan → Block → Compare → Score → Filter
+	// stages. Block spans are named "block:<strategy>" and fold into
+	// the shared "block" phase via baseName.
+	"plan": true, "scan": true, "score": true, "filter": true,
 }
 
 func baseName(name string) string {

@@ -1,0 +1,143 @@
+package blocking
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"transer/internal/dataset"
+	"transer/internal/strutil"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 40; i++ {
+		s.AddToken(fmt.Sprintf("tok-%d", i))
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Fatalf("below-k estimate = %v, want exactly 40", got)
+	}
+	// Duplicates must not move the estimate.
+	for i := 0; i < 40; i++ {
+		s.AddToken(fmt.Sprintf("tok-%d", i))
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Fatalf("estimate after duplicates = %v, want 40", got)
+	}
+}
+
+func TestKMVEstimateWithinTolerance(t *testing.T) {
+	for _, n := range []int{500, 5000, 50000} {
+		s := NewKMV(256)
+		for i := 0; i < n; i++ {
+			s.AddToken(fmt.Sprintf("token-%d", i))
+		}
+		got := s.Estimate()
+		if rel := math.Abs(got-float64(n)) / float64(n); rel > 0.25 {
+			t.Errorf("n=%d: estimate %v off by %.0f%%", n, got, rel*100)
+		}
+	}
+}
+
+func TestKMVDeterministic(t *testing.T) {
+	build := func() float64 {
+		s := NewKMV(128)
+		for i := 0; i < 10000; i++ {
+			s.AddToken(fmt.Sprintf("t%d", i%3000))
+		}
+		return s.Estimate()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("same stream produced different estimates: %v vs %v", a, b)
+	}
+}
+
+func TestKMVMerged(t *testing.T) {
+	a, b := NewKMV(256), NewKMV(256)
+	// Disjoint halves of one universe: union ≈ 2000.
+	for i := 0; i < 1000; i++ {
+		a.AddToken(fmt.Sprintf("u-%d", i))
+		b.AddToken(fmt.Sprintf("u-%d", i+1000))
+	}
+	got := a.Merged(b)
+	if rel := math.Abs(got-2000) / 2000; rel > 0.25 {
+		t.Errorf("union estimate %v off by %.0f%%", got, rel*100)
+	}
+	// Identical sketches: union estimate equals the single estimate.
+	if got := a.Merged(a); got != a.Estimate() {
+		t.Errorf("self-union %v != estimate %v", got, a.Estimate())
+	}
+}
+
+func TestTokenSketchCountsTokens(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "name", Type: dataset.AttrName},
+		{Name: "note", Type: dataset.AttrText},
+	}}
+	db := &dataset.Database{Name: "D", Schema: sch, Records: []dataset.Record{
+		{ID: "r0", Values: []string{"ada lovelace", "first programmer"}},
+		{ID: "r1", Values: []string{"alan turing", "first programmer"}},
+	}}
+	s, tokens := TokenSketch(db, -1, 64)
+	if tokens != 8 {
+		t.Fatalf("token count = %d, want 8", tokens)
+	}
+	if got := s.Estimate(); got != 6 { // ada lovelace alan turing first programmer
+		t.Fatalf("distinct estimate = %v, want 6", got)
+	}
+	// Single-attribute sketch only sees that column.
+	s0, tok0 := TokenSketch(db, 0, 64)
+	if tok0 != 4 || s0.Estimate() != 4 {
+		t.Fatalf("attr-0 sketch: tokens=%d distinct=%v, want 4/4", tok0, s0.Estimate())
+	}
+}
+
+// TestCanopyComparatorInjection pins the satellite contract: Canopy
+// with a nil comparator behaves exactly like the exported default, and
+// a caller-supplied comparator built from internal/strutil actually
+// drives the blocking decisions.
+func TestCanopyComparatorInjection(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "title", Type: dataset.AttrText},
+	}}
+	a := &dataset.Database{Name: "A", Schema: sch, Records: []dataset.Record{
+		{ID: "a0", Values: []string{"entity resolution at scale"}},
+		{ID: "a1", Values: []string{"graph databases"}},
+	}}
+	b := &dataset.Database{Name: "B", Schema: sch, Records: []dataset.Record{
+		{ID: "b0", Values: []string{"entity resolution"}},
+		{ID: "b1", Values: []string{"stream processing"}},
+	}}
+
+	def := Canopy(a, b, nil, 0.3, 0.8)
+	explicit := Canopy(a, b, JaccardRecords, 0.3, 0.8)
+	if len(def) != len(explicit) {
+		t.Fatalf("nil default and explicit JaccardRecords disagree: %v vs %v", def, explicit)
+	}
+	for i := range def {
+		if def[i] != explicit[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, def[i], explicit[i])
+		}
+	}
+
+	// Overlap coefficient scores subset titles 1.0 where Jaccard scores
+	// 2/4: at loose=0.6 only the injected comparator pairs a0 with b0.
+	overlap := RecordSim(strutil.OverlapCoefficient)
+	strict := Canopy(a, b, nil, 0.6, 0.9)
+	loose := Canopy(a, b, overlap, 0.6, 0.9)
+	if contains(strict, dataset.Pair{A: 0, B: 0}) {
+		t.Fatalf("jaccard at 0.6 unexpectedly paired the abbreviated title: %v", strict)
+	}
+	if !contains(loose, dataset.Pair{A: 0, B: 0}) {
+		t.Fatalf("overlap comparator did not pair the abbreviated title: %v", loose)
+	}
+}
+
+func contains(ps []dataset.Pair, p dataset.Pair) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

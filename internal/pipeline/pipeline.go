@@ -17,10 +17,13 @@
 package pipeline
 
 import (
+	"context"
+
 	"transer/internal/blocking"
 	"transer/internal/compare"
 	"transer/internal/datagen"
 	"transer/internal/dataset"
+	"transer/internal/query"
 )
 
 // Domain is the fully built artifact of the construction pipeline: two
@@ -46,16 +49,23 @@ func (d *Domain) NumFeatures() int { return d.Scheme.NumFeatures() }
 // is what makes memoizing them sound.
 
 // Block reduces the quadratic pair space of two databases to the
-// candidate pair set (the blocking stage).
+// candidate pair set (the blocking stage). It runs on the query
+// engine's single blocking entry point with a forced LSH operator —
+// the same blocking.CandidatePairs computation as always, so
+// fingerprinted artifacts are byte-identical across the rebase.
 func Block(a, b *dataset.Database, cfg blocking.MinHashConfig) []dataset.Pair {
-	return blocking.CandidatePairs(a, b, cfg)
+	return query.Candidates(a, b, query.BlockSpec{Strategy: query.StrategyLSH, LSH: cfg})
 }
 
 // Compare computes the n×m feature matrix over the candidate pairs
-// (the comparison stage). scheme.Workers bounds the goroutines used;
-// the matrix is identical for every worker count.
+// (the comparison stage) on the query engine's vectorized compare
+// operator. scheme.Workers bounds the goroutines used; rows are
+// written to index-addressed slots in fixed row blocks, so the matrix
+// is identical for every worker count.
 func Compare(a, b *dataset.Database, pairs []dataset.Pair, scheme compare.Scheme) [][]float64 {
-	return scheme.Matrix(a, b, pairs)
+	// The background context never cancels, so the error is always nil.
+	x, _ := query.CompareMatrix(context.Background(), a, b, scheme, pairs)
+	return x
 }
 
 // Label derives pair labels from a ground-truth match set (the

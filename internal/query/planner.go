@@ -1,0 +1,220 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"transer/internal/blocking"
+	"transer/internal/dataset"
+	"transer/internal/strutil"
+)
+
+// Planner tuning constants. All are part of the documented cost model
+// (DESIGN.md §11). They shape plans, not answers: at thresholds within
+// every blocking operator's candidate recall (the regime the engine
+// targets — see the determinism contract in DESIGN.md §11), changing
+// them changes how much work produces the result set, not the set.
+const (
+	// CanopyCeiling is the largest cross product for which exhaustive
+	// cheap-similarity canopy blocking is considered affordable.
+	CanopyCeiling = 250_000
+
+	// snWindow is the sorted-neighbourhood window size.
+	snWindow = 8
+	// snMaxNull and snMinDistinct are the sort-key quality guards: a
+	// key attribute must be nearly always present and discriminative,
+	// otherwise windowed sorting misses too many matches.
+	snMaxNull      = 0.05
+	snMinDistinct  = 0.30
+	// canopyLoose and canopyTight are the default canopy thresholds
+	// over the cheap record similarity. Tight above 1 disables canopy
+	// consumption: every cross pair at or above the loose threshold
+	// stays a candidate. The engine's contract that forcing any
+	// strategy yields the same result set depends on this — consumption
+	// is the one canopy mechanism that can drop a pair every other
+	// strategy finds.
+	canopyLoose = 0.20
+	canopyTight = 2.0
+
+	// Cost-model weights, in units of one feature-comparator
+	// evaluation: hashing one record with one MinHash function (it
+	// touches every shingle, comparable to one string-comparator pass),
+	// inserting one sort entry, and one cheap record similarity.
+	lshHashCost   = 1.0
+	sortCost      = 0.1
+	canopySimCost = 0.5
+)
+
+// PlanJob collects statistics for the job's databases and compiles its
+// plan — the convenience composition of Collect and BuildPlan.
+func PlanJob(job Job) (*Plan, error) {
+	a, b, _, _, _, _, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return BuildPlan(job, Collect(a, b))
+}
+
+// BuildPlan compiles a job against externally supplied statistics. It
+// is a pure function of (job, stats): tests perturb the statistics to
+// check that plans change while result sets do not.
+func BuildPlan(job Job, st Stats) (*Plan, error) {
+	a, b, scheme, _, scorerLabel, selfJoin, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		NameA:     a.Name,
+		NameB:     b.Name,
+		SelfJoin:  selfJoin,
+		Stats:     st,
+		Scheme:    scheme,
+		Scorer:    scorerLabel,
+		Threshold: job.Threshold,
+		Limit:     job.Limit,
+	}
+
+	ests := estimates(job, st)
+	p.Estimates = ests
+
+	if job.Force != StrategyAuto {
+		p.Forced = true
+		p.Block = blockSpec(job, st, job.Force)
+		return p, nil
+	}
+
+	// Selection: the cheapest eligible strategy, with eligibility
+	// encoding each strategy's recall guard (canopy needs an affordable
+	// cross product; sorted-neighbourhood needs a trustworthy key; LSH
+	// is always admissible). Ties cannot occur: costs are distinct
+	// continuous functions of the statistics, and the deterministic
+	// tie-break below is fixed estimate order.
+	best := -1
+	for i, e := range ests {
+		if !e.Eligible {
+			continue
+		}
+		if best < 0 || e.Cost < ests[best].Cost {
+			best = i
+		}
+	}
+	chosen := ests[best]
+	p.Block = blockSpec(job, st, chosen.Strategy)
+	p.Reason = chosen.Note
+	return p, nil
+}
+
+// estimates computes the per-strategy candidate and cost estimates in
+// fixed order (lsh, sorted-neighbourhood, canopy).
+func estimates(job Job, st Stats) []Estimate {
+	n := float64(st.RecordsA + st.RecordsB)
+	cross := st.CrossProduct
+	cfg := job.LSH.Normalized()
+
+	// Expected token overlap of a random cross pair, from the pooled
+	// KMV cardinality estimate: two records drawing t tokens each from
+	// a universe of D distinct tokens share ≥1 token with probability
+	// ≈ 1-exp(-t²/D), and their expected Jaccard is ≈ shared/(2t-shared).
+	t := st.TokensPerRecord
+	d := st.DistinctTokens
+	shared := t * t / d
+	if shared > t {
+		shared = t
+	}
+	var jacc float64
+	if t > 0 {
+		jacc = shared / (2*t - shared)
+	}
+
+	// LSH: a pair with token Jaccard j collides in one band of r rows
+	// with probability j^r, and in ≥1 of b bands with 1-(1-j^r)^b.
+	rows := cfg.NumHashes / cfg.Bands
+	collide := 1 - math.Pow(1-math.Pow(jacc, float64(rows)), float64(cfg.Bands))
+	lsh := Estimate{
+		Strategy:   StrategyLSH,
+		Candidates: cross * collide,
+		Cost:       n*float64(cfg.NumHashes)*lshHashCost + cross*collide*float64(len(st.Fields)),
+		Eligible:   true,
+		Note:       "always admissible",
+	}
+
+	// Sorted-neighbourhood: each sorted entry pairs with at most
+	// window-1 successors, about half of which are cross-side.
+	sn := Estimate{Strategy: StrategySortedNeighbourhood}
+	sortAttr, sortStats := sortKeyAttr(st)
+	if sortAttr < 0 {
+		sn.Note = fmt.Sprintf("no sort key: need a name/code attribute with null_ratio <= %.2f and distinct_ratio >= %.2f", snMaxNull, snMinDistinct)
+	} else {
+		sn.Eligible = true
+		sn.Candidates = n * float64(snWindow-1) / 2
+		sn.Cost = n*math.Log2(math.Max(n, 2))*sortCost + sn.Candidates*float64(len(st.Fields))
+		sn.Note = fmt.Sprintf("sort key %q (null=%.2f distinct=%.2f)", sortStats.Name, sortStats.NullRatio, sortStats.DistinctRatio)
+	}
+
+	// Canopy: every cross pair pays one cheap similarity; pairs sharing
+	// tokens (≈ cross · P[share ≥ 1 token]) become candidates at the
+	// loose threshold.
+	share := 1 - math.Exp(-t*t/d)
+	canopy := Estimate{
+		Strategy:   StrategyCanopy,
+		Candidates: cross * share,
+		Cost:       cross*canopySimCost + cross*share*float64(len(st.Fields)),
+	}
+	if cross <= CanopyCeiling {
+		canopy.Eligible = true
+		canopy.Note = fmt.Sprintf("cross product %.0f within exhaustive ceiling %d", cross, CanopyCeiling)
+	} else {
+		canopy.Note = fmt.Sprintf("cross product %.0f exceeds exhaustive ceiling %d", cross, CanopyCeiling)
+	}
+
+	return []Estimate{lsh, sn, canopy}
+}
+
+// sortKeyAttr picks the sorted-neighbourhood key: the most distinctive
+// name- or code-typed attribute passing the null and distinctness
+// guards. Returns -1 when none qualifies. Scanning in schema order
+// with strict improvement keeps the choice deterministic.
+func sortKeyAttr(st Stats) (int, FieldStats) {
+	best := -1
+	var bestStats FieldStats
+	for i, f := range st.Fields {
+		if f.Type != dataset.AttrName && f.Type != dataset.AttrCode {
+			continue
+		}
+		if f.NullRatio > snMaxNull || f.DistinctRatio < snMinDistinct {
+			continue
+		}
+		if best < 0 || f.DistinctRatio > bestStats.DistinctRatio {
+			best, bestStats = i, f
+		}
+	}
+	return best, bestStats
+}
+
+// blockSpec materialises the physical blocking operator for a chosen
+// strategy.
+func blockSpec(job Job, st Stats, s Strategy) BlockSpec {
+	spec := BlockSpec{Strategy: s}
+	switch s {
+	case StrategyLSH:
+		spec.LSH = job.LSH
+	case StrategySortedNeighbourhood:
+		attr, f := sortKeyAttr(st)
+		if attr < 0 {
+			// Forced despite no qualifying key: fall back to the first
+			// attribute so execution stays well-defined.
+			attr, f = 0, st.Fields[0]
+		}
+		spec.SortAttr = attr
+		spec.SortName = f.Name
+		spec.Window = snWindow
+	case StrategyCanopy:
+		spec.Loose, spec.Tight = canopyLoose, canopyTight
+		// The planner passes the comparator explicitly, built from
+		// internal/strutil, rather than leaning on Canopy's nil default.
+		spec.Sim = blocking.RecordSim(strutil.JaccardTokens)
+		spec.SimName = "token_jaccard"
+	}
+	return spec
+}

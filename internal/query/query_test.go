@@ -1,0 +1,386 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"transer/internal/dataset"
+	"transer/internal/obs"
+)
+
+var firstNames = []string{
+	"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+	"ivan", "judy", "karl", "lena", "mike", "nina", "oscar", "peggy",
+	"quinn", "rita", "steve", "trudy",
+}
+
+// testPair builds a two-attribute linkage pair with n records per side.
+// The first matchCount B records duplicate their A counterpart exactly
+// on the name attribute and with one token appended on the info
+// attribute (token Jaccard 5/6 → 0.85 quantized), so the pair's mean
+// feature similarity is 0.925 — above a 0.9 threshold — while every
+// cross pair stays far below it. nullName blanks the name of every
+// third record, which pushes the attribute's null ratio past the
+// planner's sorted-neighbourhood guard.
+func testPair(n, matchCount int, nullName bool) (a, b *dataset.Database) {
+	schema := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "name", Type: dataset.AttrName},
+		{Name: "info", Type: dataset.AttrText},
+	}}
+	name := func(i int) string {
+		if nullName && i%3 == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%s family%04d", firstNames[i%len(firstNames)], i)
+	}
+	info := func(i int, extra bool) string {
+		s := fmt.Sprintf("notes%04d zone%04d item%04d ref%04d meta%04d", i, i*7, i*13, i*29, i*31)
+		if extra {
+			s += " omega"
+		}
+		return s
+	}
+	a = &dataset.Database{Name: "qa", Schema: schema}
+	b = &dataset.Database{Name: "qb", Schema: schema}
+	for i := 0; i < n; i++ {
+		a.Records = append(a.Records, dataset.Record{
+			ID: fmt.Sprintf("a%04d", i), EntityID: fmt.Sprintf("e%04d", i),
+			Values: []string{name(i), info(i, false)},
+		})
+	}
+	for i := 0; i < n; i++ {
+		if i < matchCount {
+			b.Records = append(b.Records, dataset.Record{
+				ID: fmt.Sprintf("b%04d", i), EntityID: fmt.Sprintf("e%04d", i),
+				Values: []string{name(i), info(i, true)},
+			})
+			continue
+		}
+		j := i + 5*n // disjoint id space: no accidental matches
+		b.Records = append(b.Records, dataset.Record{
+			ID: fmt.Sprintf("b%04d", i), EntityID: fmt.Sprintf("x%04d", i),
+			Values: []string{name(j), info(j, true)},
+		})
+	}
+	return a, b
+}
+
+func mustPlan(t *testing.T, job Job) *Plan {
+	t.Helper()
+	plan, err := PlanJob(job)
+	if err != nil {
+		t.Fatalf("PlanJob: %v", err)
+	}
+	return plan
+}
+
+func mustRun(t *testing.T, job Job) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestPlannerChoosesByShape pins the cost model's regime boundaries:
+// small cross products go exhaustive canopy, a clean discriminative
+// name key at scale goes sorted-neighbourhood, and a dirty key at scale
+// falls back to LSH. Asserted through EXPLAIN, the user-visible plan
+// rendering.
+func TestPlannerChoosesByShape(t *testing.T) {
+	cases := []struct {
+		label    string
+		n        int
+		nullName bool
+		want     Strategy
+	}{
+		{"small-no-key", 30, true, StrategyCanopy},
+		{"large-clean-key", 800, false, StrategySortedNeighbourhood},
+		{"large-dirty-key", 800, true, StrategyLSH},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			a, b := testPair(tc.n, tc.n/4, tc.nullName)
+			plan := mustPlan(t, Job{A: a, B: b, Threshold: 0.9})
+			if plan.Block.Strategy != tc.want {
+				t.Fatalf("strategy = %v, want %v\n%s", plan.Block.Strategy, tc.want, plan.Explain())
+			}
+			exp := plan.Explain()
+			if !strings.Contains(exp, "chosen   "+tc.want.String()) {
+				t.Fatalf("EXPLAIN missing chosen line for %v:\n%s", tc.want, exp)
+			}
+			for _, frag := range []string{"plan: " + PlanSchemaVersion, "est lsh", "est sorted-neighbourhood", "est canopy", "filter   score >= 0.9"} {
+				if !strings.Contains(exp, frag) {
+					t.Fatalf("EXPLAIN missing %q:\n%s", frag, exp)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainDeterministic re-plans the same job and demands identical
+// plan text.
+func TestExplainDeterministic(t *testing.T) {
+	a, b := testPair(120, 30, false)
+	job := Job{A: a, B: b, Threshold: 0.85, Limit: 10}
+	e1 := mustPlan(t, job).Explain()
+	e2 := mustPlan(t, job).Explain()
+	if e1 != e2 {
+		t.Fatalf("EXPLAIN not deterministic:\n%s\n----\n%s", e1, e2)
+	}
+}
+
+// TestStatsPerturbationChangesPlanNotResults is the planner's core
+// property: perturbing the statistics moves the plan across strategy
+// regimes, but executing any of those plans on the same job yields the
+// same result set.
+func TestStatsPerturbationChangesPlanNotResults(t *testing.T) {
+	a, b := testPair(400, 80, false)
+	job := Job{A: a, B: b, Threshold: 0.9}
+	base := Collect(a, b)
+
+	auto, err := BuildPlan(job, base)
+	if err != nil {
+		t.Fatalf("BuildPlan(base): %v", err)
+	}
+	if auto.Block.Strategy != StrategySortedNeighbourhood {
+		t.Fatalf("base plan = %v, want sorted-neighbourhood\n%s", auto.Block.Strategy, auto.Explain())
+	}
+
+	dirty := base
+	dirty.Fields = append([]FieldStats(nil), base.Fields...)
+	dirty.Fields[0].NullRatio = 0.5
+	dirtyPlan, err := BuildPlan(job, dirty)
+	if err != nil {
+		t.Fatalf("BuildPlan(dirty): %v", err)
+	}
+	if dirtyPlan.Block.Strategy != StrategyLSH {
+		t.Fatalf("dirty-key plan = %v, want lsh\n%s", dirtyPlan.Block.Strategy, dirtyPlan.Explain())
+	}
+
+	tiny := base
+	tiny.CrossProduct = 1000
+	tinyPlan, err := BuildPlan(job, tiny)
+	if err != nil {
+		t.Fatalf("BuildPlan(tiny): %v", err)
+	}
+	if tinyPlan.Block.Strategy != StrategyCanopy {
+		t.Fatalf("tiny-cross plan = %v, want canopy\n%s", tinyPlan.Block.Strategy, tinyPlan.Explain())
+	}
+
+	ctx := context.Background()
+	var matches [][]Match
+	for _, plan := range []*Plan{auto, dirtyPlan, tinyPlan} {
+		res, err := Execute(ctx, job, plan)
+		if err != nil {
+			t.Fatalf("Execute(%v): %v", plan.Block.Strategy, err)
+		}
+		matches = append(matches, res.Matches)
+	}
+	for i := 1; i < len(matches); i++ {
+		if !reflect.DeepEqual(matches[0], matches[i]) {
+			t.Fatalf("plan %d result differs from plan 0: %d vs %d matches", i, len(matches[i]), len(matches[0]))
+		}
+	}
+	if len(matches[0]) == 0 {
+		t.Fatal("no matches found; the property test is vacuous")
+	}
+}
+
+// TestForcedStrategiesAgree forces all three blocking strategies on the
+// same job and demands identical result sets at the same threshold —
+// the planner may only ever change how much work finds the answer,
+// never the answer.
+func TestForcedStrategiesAgree(t *testing.T) {
+	a, b := testPair(150, 40, false)
+	var ref []Match
+	for i, force := range []Strategy{StrategyLSH, StrategySortedNeighbourhood, StrategyCanopy} {
+		job := Job{A: a, B: b, Threshold: 0.9, Force: force}
+		plan := mustPlan(t, job)
+		if !plan.Forced {
+			t.Fatalf("%v: plan not marked forced", force)
+		}
+		if !strings.Contains(plan.Explain(), "(forced by caller)") {
+			t.Fatalf("%v: EXPLAIN missing forced marker:\n%s", force, plan.Explain())
+		}
+		res, err := Execute(context.Background(), job, plan)
+		if err != nil {
+			t.Fatalf("Execute(%v): %v", force, err)
+		}
+		if i == 0 {
+			ref = res.Matches
+			if len(ref) == 0 {
+				t.Fatal("no matches under forced LSH; test is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res.Matches, ref) {
+			t.Fatalf("forced %v yields %d matches, LSH yields %d", force, len(res.Matches), len(ref))
+		}
+	}
+}
+
+// TestWorkerCountInvariance renders the result of the same query under
+// several worker counts and demands byte-identical output.
+func TestWorkerCountInvariance(t *testing.T) {
+	a, b := testPair(300, 60, false)
+	var ref string
+	for _, workers := range []int{1, 2, 7} {
+		res := mustRun(t, Job{A: a, B: b, Threshold: 0.9, Workers: workers})
+		got := fmt.Sprintf("%v|%d|%d", res.Matches, res.Candidates, res.Kept)
+		if ref == "" {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("workers=%d output differs:\n%s\nvs\n%s", workers, got, ref)
+		}
+	}
+}
+
+// TestSelfJoinDedup checks the nil-B dedup contract: candidates are
+// restricted to i < j and a planted duplicate is found.
+func TestSelfJoinDedup(t *testing.T) {
+	a, _ := testPair(60, 0, false)
+	dup := a.Records[7]
+	dup.ID = "a-dup"
+	a.Records = append(a.Records, dup)
+	res := mustRun(t, Job{A: a, Threshold: 0.9})
+	if !res.Plan.SelfJoin {
+		t.Fatal("plan not marked self-join")
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.A >= m.B {
+			t.Fatalf("self-join match violates i<j: %+v", m)
+		}
+		if m.A == 7 && m.B == len(a.Records)-1 {
+			found = true
+			if m.IDA != "a0007" || m.IDB != "a-dup" {
+				t.Fatalf("match ids = %q,%q", m.IDA, m.IDB)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted duplicate not found in %d matches", len(res.Matches))
+	}
+}
+
+// TestComparatorOverrides wires a registry comparator into the derived
+// scheme by attribute name, and rejects unknown names on both sides.
+func TestComparatorOverrides(t *testing.T) {
+	a, b := testPair(40, 10, false)
+	job := Job{A: a, B: b, Threshold: 0.9, Comparators: map[string]string{"name": "smith_waterman"}}
+	plan := mustPlan(t, job)
+	names := plan.Scheme.FeatureNames()
+	if names[0] != "name_smith_waterman" {
+		t.Fatalf("feature names = %v, want name_smith_waterman first", names)
+	}
+	if _, err := PlanJob(Job{A: a, B: b, Comparators: map[string]string{"name": "nope"}}); err == nil {
+		t.Fatal("unknown comparator name accepted")
+	}
+	if _, err := PlanJob(Job{A: a, B: b, Comparators: map[string]string{"missing_attr": "edit"}}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+// TestJobValidation covers the resolve-time error paths.
+func TestJobValidation(t *testing.T) {
+	a, b := testPair(10, 2, false)
+	if _, err := PlanJob(Job{Threshold: 0.5}); err == nil {
+		t.Fatal("nil A accepted")
+	}
+	if _, err := PlanJob(Job{A: a, B: b, Threshold: 1.5}); err == nil {
+		t.Fatal("threshold 1.5 accepted")
+	}
+	other := &dataset.Database{Name: "other", Schema: dataset.Schema{Attributes: []dataset.Attribute{{Name: "x", Type: dataset.AttrText}}}}
+	if _, err := PlanJob(Job{A: a, B: other}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// TestLimitCapsMatchesNotKept checks Limit truncates the returned
+// matches while Kept still counts every pair over the threshold.
+func TestLimitCapsMatchesNotKept(t *testing.T) {
+	a, b := testPair(80, 20, false)
+	full := mustRun(t, Job{A: a, B: b, Threshold: 0.9})
+	if full.Kept < 3 {
+		t.Fatalf("need >= 3 matches for the limit test, got %d", full.Kept)
+	}
+	lim := mustRun(t, Job{A: a, B: b, Threshold: 0.9, Limit: 2})
+	if len(lim.Matches) != 2 {
+		t.Fatalf("limited matches = %d, want 2", len(lim.Matches))
+	}
+	if lim.Kept != full.Kept {
+		t.Fatalf("limited Kept = %d, want %d", lim.Kept, full.Kept)
+	}
+	if !reflect.DeepEqual(lim.Matches, full.Matches[:2]) {
+		t.Fatal("limited matches are not the deterministic prefix")
+	}
+}
+
+// TestCancellation checks CompareMatrix and ScoreMatrix drop partial
+// work and surface the context error.
+func TestCancellation(t *testing.T) {
+	a, b := testPair(100, 20, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Job{A: a, B: b, Threshold: 0.9}); err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if _, err := ScoreMatrix(ctx, MeanScorer{}, [][]float64{{1}}, 1); err == nil {
+		t.Fatal("canceled ScoreMatrix returned no error")
+	}
+}
+
+// TestSpansAndMetrics checks each operator emits its span and the
+// engine its counters — and that instrumentation does not change the
+// result.
+func TestSpansAndMetrics(t *testing.T) {
+	a, b := testPair(60, 15, false)
+	bare := mustRun(t, Job{A: a, B: b, Threshold: 0.9})
+
+	tr := obs.New("query-test")
+	job := Job{A: a, B: b, Threshold: 0.9, Span: tr.Root(), Metrics: tr.Metrics()}
+	res := mustRun(t, job)
+	if !reflect.DeepEqual(res.Matches, bare.Matches) {
+		t.Fatal("instrumented run changed the result")
+	}
+
+	for _, name := range []string{"scan", "compare", "score", "filter"} {
+		if tr.Root().Find(name) == nil {
+			t.Fatalf("span %q missing", name)
+		}
+	}
+	blockName := "block:" + res.Plan.Block.Strategy.String()
+	if tr.Root().Find(blockName) == nil {
+		t.Fatalf("span %q missing", blockName)
+	}
+	snap := tr.Metrics().Snapshot()
+	if snap.Counters["query.candidates_total"] <= 0 {
+		t.Fatalf("query.candidates_total = %d", snap.Counters["query.candidates_total"])
+	}
+	if snap.Counters["query.matches_total"] != int64(res.Kept) {
+		t.Fatalf("query.matches_total = %d, want %d", snap.Counters["query.matches_total"], res.Kept)
+	}
+}
+
+// TestParseStrategyRoundTrip pins flag parsing.
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range []Strategy{StrategyAuto, StrategyLSH, StrategySortedNeighbourhood, StrategyCanopy} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if got, err := ParseStrategy("sn"); err != nil || got != StrategySortedNeighbourhood {
+		t.Fatalf("ParseStrategy(sn) = %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"transer/internal/blocking"
+	"transer/internal/dataset"
+	"transer/internal/strutil"
+)
+
+// sketchK is the KMV sketch size used for token cardinality estimates.
+// 256 keeps the relative standard error near 6% — far finer than any
+// planning decision boundary — at a few KB per sketch.
+const sketchK = 256
+
+// FieldStats summarises one schema attribute across both databases.
+// All ratios are in [0, 1] and deterministic for fixed inputs.
+type FieldStats struct {
+	Name string           `json:"name"`
+	Type dataset.AttrType `json:"-"`
+	// NullRatio is the fraction of empty values.
+	NullRatio float64 `json:"null_ratio"`
+	// DistinctRatio is distinct non-empty values over non-empty values
+	// (1 = unique key, → 0 = heavily repeated category).
+	DistinctRatio float64 `json:"distinct_ratio"`
+	// AvgTokens is the mean word-token count of non-empty values.
+	AvgTokens float64 `json:"avg_tokens"`
+}
+
+// Stats are the per-dataset statistics the planner's cost model runs
+// on: record counts, per-field null/distinct ratios, and token-set
+// cardinality estimated with the KMV sketch that shares MinHash
+// blocking's token hashing. Collect is a pure function of the two
+// databases, so plans built from collected stats are deterministic.
+type Stats struct {
+	RecordsA, RecordsB int
+	// CrossProduct = RecordsA × RecordsB, the unblocked pair space.
+	CrossProduct float64
+	Fields       []FieldStats
+	// TokensPerRecord is the mean word-token count of a record over all
+	// attributes (both databases pooled).
+	TokensPerRecord float64
+	// DistinctTokens is the KMV-estimated distinct token count of the
+	// pooled databases.
+	DistinctTokens float64
+}
+
+// Collect computes planning statistics for a database pair in one pass
+// per database. For a self-join (dedup) call it with b == a.
+func Collect(a, b *dataset.Database) Stats {
+	st := Stats{
+		RecordsA:     a.NumRecords(),
+		RecordsB:     b.NumRecords(),
+		CrossProduct: float64(a.NumRecords()) * float64(b.NumRecords()),
+	}
+
+	m := a.Schema.NumAttributes()
+	nonEmpty := make([]int, m)
+	nulls := make([]int, m)
+	fieldTokens := make([]int, m)
+	distinct := make([]map[string]bool, m)
+	for j := range distinct {
+		distinct[j] = make(map[string]bool)
+	}
+	totalTokens := 0
+	records := 0
+
+	sketch := blocking.NewKMV(sketchK)
+	walk := func(db *dataset.Database) {
+		records += len(db.Records)
+		for _, r := range db.Records {
+			for j, v := range r.Values {
+				if j >= m {
+					break
+				}
+				if v == "" {
+					nulls[j]++
+					continue
+				}
+				nonEmpty[j]++
+				distinct[j][v] = true
+				toks := strutil.Tokens(v)
+				fieldTokens[j] += len(toks)
+				totalTokens += len(toks)
+				for _, t := range toks {
+					sketch.AddToken(t)
+				}
+			}
+		}
+	}
+	walk(a)
+	if b != a {
+		walk(b)
+	}
+
+	st.Fields = make([]FieldStats, m)
+	for j, attr := range a.Schema.Attributes {
+		f := FieldStats{Name: attr.Name, Type: attr.Type}
+		if tot := nonEmpty[j] + nulls[j]; tot > 0 {
+			f.NullRatio = float64(nulls[j]) / float64(tot)
+		}
+		if nonEmpty[j] > 0 {
+			f.DistinctRatio = float64(len(distinct[j])) / float64(nonEmpty[j])
+			f.AvgTokens = float64(fieldTokens[j]) / float64(nonEmpty[j])
+		}
+		st.Fields[j] = f
+	}
+	if records > 0 {
+		st.TokensPerRecord = float64(totalTokens) / float64(records)
+	}
+	st.DistinctTokens = sketch.Estimate()
+	if st.DistinctTokens < 1 {
+		st.DistinctTokens = 1
+	}
+	return st
+}

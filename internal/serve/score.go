@@ -2,46 +2,22 @@ package serve
 
 import (
 	"context"
-	"sync/atomic"
 
 	"transer/internal/model"
-	"transer/internal/parallel"
+	"transer/internal/query"
 )
 
-// scoreBlock is the fixed chunk size of cancellable batch scoring.
-// Fixing the block size (rather than deriving it from the worker
-// count) keeps each row's scoring context identical for every worker
-// count, so batch responses are byte-identical no matter how the
-// server is sized. 512 rows amortise per-block overhead while keeping
-// cancellation latency in the low milliseconds for every classifier.
-const scoreBlock = 512
+// scoreBlock is the engine's fixed scoring block size, re-exported for
+// the batch tests that size their requests to span multiple blocks.
+const scoreBlock = query.CompareBlock
 
-// scoreWithContext scores a feature matrix in fixed-size blocks over
-// the worker pool, checking the context between blocks. Results are
-// written to index-addressed slots: for any worker count the output is
-// bitwise identical. On cancellation the partial result is discarded
-// and the context error returned.
+// scoreWithContext scores a feature matrix on the query engine's
+// vectorized score operator: fixed-size row blocks over the worker
+// pool, checking the context between blocks. Results are written to
+// index-addressed slots, so for any worker count the output is bitwise
+// identical — the contract batch responses are built on. On
+// cancellation the partial result is discarded and the context error
+// returned.
 func scoreWithContext(ctx context.Context, m *model.Matcher, x [][]float64, workers int) ([]float64, error) {
-	if len(x) == 0 {
-		return nil, nil
-	}
-	out := make([]float64, len(x))
-	var canceled atomic.Bool
-	nBlocks := (len(x) + scoreBlock - 1) / scoreBlock
-	parallel.ForEach(workers, nBlocks, func(bi int) {
-		if canceled.Load() {
-			return
-		}
-		if ctx.Err() != nil {
-			canceled.Store(true)
-			return
-		}
-		lo := bi * scoreBlock
-		hi := min(lo+scoreBlock, len(x))
-		copy(out[lo:hi], m.Score(x[lo:hi], 1))
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return query.ScoreMatrix(ctx, m, x, workers)
 }

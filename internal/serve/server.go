@@ -7,6 +7,7 @@
 //
 //	POST /v1/match         score one record pair
 //	POST /v1/match/batch   score N pairs (index-addressed, deterministic)
+//	POST /v1/query         planned similarity join of uploaded record sets
 //	GET  /v1/models        describe the loaded model
 //	POST /v1/models/reload hot-swap the model from its artifact file
 //	GET  /healthz          liveness probe
@@ -151,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/match", s.scored("match", s.handleMatch))
 	mux.HandleFunc("POST /v1/match/batch", s.scored("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/query", s.scored("query", s.handleQuery))
 	return mux
 }
 
