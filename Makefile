@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel bench-query
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel bench-query bench-stream
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzJaroWinkler$$' -fuzztime $(FUZZTIME) ./internal/strutil/
 	$(GO) test -run '^$$' -fuzz '^FuzzCSVDataset$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzVectorKey$$' -fuzztime $(FUZZTIME) ./internal/kdtree/
+	$(GO) test -run '^$$' -fuzz '^FuzzIngestRecord$$' -fuzztime $(FUZZTIME) ./internal/stream/
 
 # SEL-engine benchmark: the table 2 pipeline once per engine, each run
 # condensed into one BENCH_sel.json entry via cmd/benchreport. Compare
@@ -153,6 +154,30 @@ bench-query:
 		.bench-query/query-lsh-0.json .bench-query/query-sn-0.json \
 		.bench-query/query-canopy-0.json > $(QUERY_OUT)
 	@echo "wrote $(QUERY_OUT)"
+
+# Streaming-store benchmark: replay one builtin pair through the live
+# entity store (cmd/stream) across a worker-count sweep, with read-only
+# resolve probes, each run's per-record ingest/resolve spans condensed
+# into one BENCH_stream.json entry via cmd/benchreport. The store
+# fingerprint — and so the final partition — is identical for every
+# worker count (DESIGN.md §12); only the scoring wall time moves.
+#   make bench-stream STREAM_SCALE=0.3
+STREAM_DATASET ?= DBLP-ACM
+STREAM_SCALE ?= 0.3
+STREAM_OUT ?= BENCH_stream.json
+bench-stream:
+	@mkdir -p .bench-stream
+	@for workers in 1 2 4 0; do \
+		echo "== stream $(STREAM_DATASET) @ $(STREAM_SCALE), workers=$$workers"; \
+		$(GO) run ./cmd/stream -dataset $(STREAM_DATASET) -scale $(STREAM_SCALE) \
+			-threshold 0.6 -workers $$workers -resolve 200 \
+			-out .bench-stream/summary-w$$workers.json \
+			-metrics-out .bench-stream/stream-w$$workers.json || exit 1; \
+	done
+	$(GO) run ./cmd/benchreport -note "make bench-stream: replay $(STREAM_DATASET) at scale $(STREAM_SCALE) through the live entity store (cmd/stream), workers 1/2/4/auto, 200 resolve probes" \
+		.bench-stream/stream-w1.json .bench-stream/stream-w2.json \
+		.bench-stream/stream-w4.json .bench-stream/stream-w0.json > $(STREAM_OUT)
+	@echo "wrote $(STREAM_OUT)"
 
 # Short-mode coverage over the whole module, with per-function summary.
 # CI enforces a floor for internal/core and internal/testkit (the

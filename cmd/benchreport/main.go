@@ -18,7 +18,9 @@
 // separable in the summary. Reports from cmd/query contribute the
 // query-engine operator phases (plan, scan, block, compare, score,
 // filter); "block:<strategy>" spans fold into the shared "block"
-// phase.
+// phase. Reports from cmd/stream contribute the streaming phases
+// (ingest, resolve), one span per record, so BENCH_stream.json
+// carries per-record latency as TotalMS / Count.
 package main
 
 import (
@@ -78,6 +80,10 @@ var phases = map[string]bool{
 	// stages. Block spans are named "block:<strategy>" and fold into
 	// the shared "block" phase via baseName.
 	"plan": true, "scan": true, "score": true, "filter": true,
+	// Streaming entity store (cmd/stream -metrics-out): one span per
+	// ingested record and per read-only resolve probe, so Count is the
+	// record count and TotalMS/Count the per-record latency.
+	"ingest": true, "resolve": true,
 }
 
 func baseName(name string) string {

@@ -12,10 +12,18 @@
 //
 //	POST /v1/match         {"a": {attr: value, ...}, "b": {...}}
 //	POST /v1/match/batch   {"pairs": [{"a": {...}, "b": {...}}, ...]}
+//	POST /v1/ingest        {"records": [{"id": ..., "attrs": {...}}, ...]} (with -stream)
+//	POST /v1/resolve       {"id": ..., "attrs": {...}} (with -stream)
 //	GET  /v1/models        loaded model metadata
 //	POST /v1/models/reload hot-swap the artifact from disk
 //	GET  /healthz          liveness
 //	GET  /metrics          transer.serve.metrics/v1 JSON snapshot
+//
+// -stream enables the live entity store (internal/stream): ingested
+// records resolve against everything already stored, with stable
+// journaled entity IDs. -stream-wal gives the store a write-ahead log
+// (replayed on start, torn tail truncated); -stream-snapshot loads a
+// snapshot on start and writes one on graceful shutdown.
 //
 // A served model scores pairs byte-identically to the cmd/transer run
 // that exported it, and batch responses are byte-identical for every
@@ -41,6 +49,7 @@ import (
 
 	"transer/internal/obs"
 	"transer/internal/serve"
+	"transer/internal/stream"
 )
 
 func main() {
@@ -61,6 +70,9 @@ func run() error {
 		workers     = flag.Int("workers", 0, "batch scoring worker pool (0 = one per CPU; responses identical for any value)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file` on shutdown")
+		streamOn    = flag.Bool("stream", false, "enable the live entity store and the /v1/ingest + /v1/resolve endpoints")
+		streamWAL   = flag.String("stream-wal", "", "write-ahead log `file` for the entity store (replayed on start, torn tail truncated; implies -stream)")
+		streamSnap  = flag.String("stream-snapshot", "", "snapshot `file` for the entity store (loaded on start if present, written on shutdown; implies -stream)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -78,6 +90,19 @@ func run() error {
 		queue = -1
 	}
 	tr := obs.New("serve")
+	var store *stream.Store
+	if *streamOn || *streamWAL != "" || *streamSnap != "" {
+		cfg := stream.FromMatcher(reg.Matcher())
+		cfg.Workers = *workers
+		cfg.Metrics = tr.Metrics()
+		store, err = stream.Recover(cfg, *streamSnap, *streamWAL)
+		if err != nil {
+			return fmt.Errorf("stream store recovery: %w", err)
+		}
+		stats := store.Stats()
+		fmt.Fprintf(os.Stderr, "serve: entity store ready (%d records, %d entities)\n",
+			stats.Records, stats.Entities)
+	}
 	srv, err := serve.New(serve.Config{
 		Registry:      reg,
 		MaxInFlight:   *maxInFlight,
@@ -86,6 +111,7 @@ func run() error {
 		Workers:       *workers,
 		MaxBatchPairs: *maxBatch,
 		Tracer:        tr,
+		Stream:        store,
 	})
 	if err != nil {
 		return err
@@ -122,6 +148,18 @@ func run() error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+
+	if store != nil {
+		if *streamSnap != "" {
+			if err := store.SnapshotFile(*streamSnap); err != nil {
+				return fmt.Errorf("stream snapshot: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "serve: entity store snapshot written to %s\n", *streamSnap)
+		}
+		if err := store.CloseWAL(); err != nil {
+			return fmt.Errorf("stream wal close: %w", err)
+		}
 	}
 
 	if *metricsOut != "" {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -35,7 +38,8 @@ func TestServeUsageListsFlags(t *testing.T) {
 	bin := testkit.BuildBinary(t, "transer/cmd/serve")
 	out, _ := exec.Command(bin, "-h").CombinedOutput()
 	for _, flag := range []string{"-model", "-addr", "-timeout", "-max-in-flight", "-max-queue",
-		"-max-batch", "-workers", "-drain", "-metrics-out"} {
+		"-max-batch", "-workers", "-drain", "-metrics-out",
+		"-stream", "-stream-wal", "-stream-snapshot"} {
 		if !strings.Contains(string(out), flag) {
 			t.Fatalf("usage output lacks %s:\n%s", flag, out)
 		}
@@ -544,4 +548,291 @@ func TestServeGracefulShutdownMidBatch(t *testing.T) {
 	if _, err := obs.ValidateReportBytes(rb); err != nil {
 		t.Fatalf("run report fails schema validation: %v", err)
 	}
+}
+
+// ingestChunks posts db's records to /v1/ingest in order, id-prefixed
+// by side, returning the final store stats.
+func ingestChunks(t *testing.T, base string, db *dataset.Database, prefix string, wantFirstSeq int) serve.IngestResponse {
+	t.Helper()
+	attrs := db.Schema.Names()
+	var last serve.IngestResponse
+	const chunk = 64
+	seq := wantFirstSeq
+	for start := 0; start < len(db.Records); start += chunk {
+		end := start + chunk
+		if end > len(db.Records) {
+			end = len(db.Records)
+		}
+		recs := make([]map[string]any, 0, end-start)
+		for _, rec := range db.Records[start:end] {
+			m := map[string]string{}
+			for i, v := range rec.Values {
+				m[attrs[i]] = v
+			}
+			recs = append(recs, map[string]any{"id": prefix + rec.ID, "attrs": m})
+		}
+		resp, body := postJSON(t, base+"/v1/ingest", map[string]any{"records": recs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest records %d..%d: %d: %s", start, end, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &last); err != nil {
+			t.Fatal(err)
+		}
+		for k, r := range last.Results {
+			if r.Seq != seq+k {
+				t.Fatalf("record %d ingested with seq %d, want %d", start+k, r.Seq, seq+k)
+			}
+		}
+		seq += len(last.Results)
+	}
+	return last
+}
+
+// attrPayload renders one record as a resolve request body.
+func attrPayload(db *dataset.Database, i int) map[string]any {
+	attrs := db.Schema.Names()
+	m := map[string]string{}
+	for k, v := range db.Records[i].Values {
+		m[attrs[k]] = v
+	}
+	return map[string]any{"attrs": m}
+}
+
+// TestServeStreamBatchParity is the streaming acceptance check: a
+// server that ingests the A side of DBLP-ACM and resolves every B
+// record must reproduce, byte for byte, the match CSV that the batch
+// query engine (cmd/query -model -format csv) computes for the same
+// linkage — same pairs, same ids, same %.6f scores.
+func TestServeStreamBatchParity(t *testing.T) {
+	dir := trainedDir(t)
+	serveBin := testkit.BuildBinary(t, "transer/cmd/serve")
+	queryBin := testkit.BuildBinary(t, "transer/cmd/query")
+	aCSV := filepath.Join(dir, "dblp-acm-a.csv")
+	bCSV := filepath.Join(dir, "dblp-acm-b.csv")
+	modelPath := filepath.Join(dir, "model.json")
+
+	batchCSV := filepath.Join(t.TempDir(), "batch.csv")
+	testkit.RunBinary(t, queryBin, "-a", aCSV, "-b", bCSV, "-model", modelPath,
+		"-block", "lsh", "-format", "csv", "-out", batchCSV)
+
+	dbA, err := dataset.ReadCSVFile(aCSV, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := dataset.ReadCSVFile(bCSV, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServe(t, serveBin, "-model", modelPath, "-stream")
+	last := ingestChunks(t, p.base, dbA, "", 0)
+	if last.Stats.Records != len(dbA.Records) {
+		t.Fatalf("store has %d records after ingesting %d", last.Stats.Records, len(dbA.Records))
+	}
+
+	// Resolve every B record read-only; each reported match (seq, score)
+	// is one batch pair (seq == A index: records were ingested in file
+	// order into an empty store).
+	var rows [][]string
+	for j := range dbB.Records {
+		resp, body := postJSON(t, p.base+"/v1/resolve", attrPayload(dbB, j))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("resolve %d: %d: %s", j, resp.StatusCode, body)
+		}
+		var rr serve.ResolveResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range rr.Matches {
+			rows = append(rows, []string{
+				strconv.Itoa(m.Seq), strconv.Itoa(j), m.RecordID, dbB.Records[j].ID,
+				strconv.FormatFloat(m.Score, 'f', 6, 64),
+			})
+		}
+	}
+	p.stop(t)
+	if len(rows) == 0 {
+		t.Fatal("no streaming matches: parity check is vacuous")
+	}
+	// Collected b-major; the batch CSV is (a, b)-sorted. The stable
+	// re-sort by a keeps b ascending within each a.
+	sort.SliceStable(rows, func(i, j int) bool {
+		ai, _ := strconv.Atoi(rows[i][0])
+		aj, _ := strconv.Atoi(rows[j][0])
+		return ai < aj
+	})
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	cw.Write([]string{"a", "b", "id_a", "id_b", "score"})
+	for _, row := range rows {
+		cw.Write(row)
+	}
+	cw.Flush()
+
+	want, err := os.ReadFile(batchCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		wantLines := strings.Split(string(want), "\n")
+		gotLines := strings.Split(buf.String(), "\n")
+		for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+			var w, g string
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if w != g {
+				t.Fatalf("streaming CSV diverges from batch at line %d:\nbatch:  %q\nstream: %q\n(%d batch lines, %d stream lines)",
+					i, w, g, len(wantLines), len(gotLines))
+			}
+		}
+		t.Fatal("byte difference without a line difference (line endings?)")
+	}
+}
+
+// TestServeStreamDrainAndRecovery exercises the durable streaming
+// lifecycle end to end: ingest both DBLP-ACM sides (>200 records),
+// resolve probes, SIGTERM with an ingest in flight (it must complete
+// during the drain and land in the WAL + shutdown snapshot), then
+// restart from the same state files and require every probe to resolve
+// to the same entity ID — stability across a crash-restart cycle.
+func TestServeStreamDrainAndRecovery(t *testing.T) {
+	dir := trainedDir(t)
+	bin := testkit.BuildBinary(t, "transer/cmd/serve")
+	state := t.TempDir()
+	wal := filepath.Join(state, "store.wal")
+	snap := filepath.Join(state, "store.snap")
+	modelPath := filepath.Join(dir, "model.json")
+
+	dbA, err := dataset.ReadCSVFile(filepath.Join(dir, "dblp-acm-a.csv"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := dataset.ReadCSVFile(filepath.Join(dir, "dblp-acm-b.csv"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both domains share the (homogeneous-transfer) schema, so the
+	// scholar sides pad the smoke corpus past 200 records.
+	dbSA, err := dataset.ReadCSVFile(filepath.Join(dir, "dblp-scholar-a.csv"), "sa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSB, err := dataset.ReadCSVFile(filepath.Join(dir, "dblp-scholar-b.csv"), "sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServe(t, bin, "-model", modelPath,
+		"-stream-wal", wal, "-stream-snapshot", snap, "-timeout", "60s")
+	seq := 0
+	for _, part := range []struct {
+		db     *dataset.Database
+		prefix string
+	}{{dbA, "a:"}, {dbB, "b:"}, {dbSA, "sa:"}, {dbSB, "sb:"}} {
+		ingestChunks(t, p.base, part.db, part.prefix, seq)
+		seq += len(part.db.Records)
+	}
+	stored := seq
+	if stored < 200 {
+		t.Fatalf("smoke corpus has %d records, want >= 200", stored)
+	}
+
+	// 20 read-only probes over known stored content.
+	const nProbes = 20
+	entities := make([]uint64, nProbes)
+	resolveProbes := func(base string) []uint64 {
+		got := make([]uint64, nProbes)
+		for i := 0; i < nProbes; i++ {
+			resp, body := postJSON(t, base+"/v1/resolve", attrPayload(dbA, i*3))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("resolve probe %d: %d: %s", i, resp.StatusCode, body)
+			}
+			var rr serve.ResolveResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Fatal(err)
+			}
+			if !rr.Matched {
+				t.Fatalf("probe %d (a stored record's own content) did not match", i)
+			}
+			got[i] = rr.EntityID
+		}
+		return got
+	}
+	copy(entities, resolveProbes(p.base))
+
+	// SIGTERM with a large ingest in flight: non-matching filler so it
+	// cannot disturb the probe entities, big enough to observe.
+	filler := make([]map[string]any, 1500)
+	for i := range filler {
+		filler[i] = map[string]any{"id": fmt.Sprintf("drain:%d", i), "attrs": map[string]string{
+			dbA.Schema.Names()[0]: fmt.Sprintf("zzqx drain filler %d payload", i),
+		}}
+	}
+	// Unlisted attributes default to empty only if the schema allows;
+	// send every attribute explicitly.
+	for i := range filler {
+		m := filler[i]["attrs"].(map[string]string)
+		for _, name := range dbA.Schema.Names()[1:] {
+			m[name] = ""
+		}
+	}
+	b, err := json.Marshal(map[string]any{"records": filler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCh := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(p.base+"/v1/ingest", "application/json", bytes.NewReader(b))
+		if err != nil {
+			resCh <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resCh <- resp.StatusCode
+	}()
+	inFlight := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		var m serve.MetricsResponse
+		getJSON(t, p.base+"/metrics", &m)
+		if m.Metrics.Gauges["serve.in_flight"] >= 1 {
+			inFlight = true
+			break
+		}
+		time.Sleep(1 * time.Millisecond)
+	}
+	if !inFlight {
+		t.Fatalf("filler ingest never became in-flight\n%s", p.log())
+	}
+	p.stop(t)
+	if code := <-resCh; code != http.StatusOK {
+		t.Fatalf("in-flight ingest answered %d during drain\n%s", code, p.log())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("shutdown snapshot missing: %v", err)
+	}
+
+	// Restart from the same WAL + snapshot: the store must recover
+	// every record (including the drained filler) and keep the probes'
+	// entity IDs.
+	p2 := startServe(t, bin, "-model", modelPath,
+		"-stream-wal", wal, "-stream-snapshot", snap)
+	if !strings.Contains(p2.log(), "entity store ready") {
+		t.Fatalf("restart did not report recovery:\n%s", p2.log())
+	}
+	wantReady := fmt.Sprintf("(%d records", stored+len(filler))
+	if !strings.Contains(p2.log(), wantReady) {
+		t.Fatalf("recovered store did not report %s:\n%s", wantReady, p2.log())
+	}
+	after := resolveProbes(p2.base)
+	for i := range entities {
+		if after[i] != entities[i] {
+			t.Fatalf("probe %d entity changed across restart: %d -> %d", i, entities[i], after[i])
+		}
+	}
+	p2.stop(t)
 }

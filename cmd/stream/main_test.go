@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transer/internal/testkit"
+)
+
+func TestStreamMissingInput(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/stream")
+	out := testkit.RunBinaryErr(t, bin)
+	if !strings.Contains(out, "need an input") {
+		t.Fatalf("want a missing-input diagnostic, got:\n%s", out)
+	}
+}
+
+func readSummary(t *testing.T, path string) Document {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Schema != SummarySchemaVersion {
+		t.Fatalf("summary schema %q, want %q", doc.Schema, SummarySchemaVersion)
+	}
+	return doc
+}
+
+// TestStreamReplaySelfcheck replays a builtin pair with the
+// differential self-check on: the binary must exit cleanly with a
+// summary whose self_check verdict is ok, proving streaming == batch
+// end to end through the CLI.
+func TestStreamReplaySelfcheck(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/stream")
+	out := filepath.Join(t.TempDir(), "summary.json")
+	log := testkit.RunBinary(t, bin,
+		"-dataset", "DBLP-ACM", "-scale", "0.06",
+		"-threshold", "0.6", "-selfcheck", "2", "-resolve", "10",
+		"-out", out)
+	doc := readSummary(t, out)
+	if doc.Records == 0 || doc.Replayed != doc.Records {
+		t.Fatalf("replayed %d of %d records:\n%s", doc.Replayed, doc.Records, log)
+	}
+	if doc.Entities == 0 || doc.Entities > doc.Records {
+		t.Fatalf("implausible entity count %d for %d records", doc.Entities, doc.Records)
+	}
+	// Every journaled merge collapses two entities into one, and only
+	// records can open entities, so merges never exceed the surplus of
+	// records over surviving entities.
+	if doc.Merges > doc.Records-doc.Entities {
+		t.Fatalf("records=%d entities=%d merges=%d violate the merge bound",
+			doc.Records, doc.Entities, doc.Merges)
+	}
+	if doc.Fingerprint == "" {
+		t.Fatal("summary lacks a store fingerprint")
+	}
+	if doc.Resolved != 10 {
+		t.Fatalf("resolved %d probes, want 10", doc.Resolved)
+	}
+	if doc.SelfCheck == nil || !doc.SelfCheck.OK || doc.SelfCheck.Orders != 3 {
+		t.Fatalf("self-check verdict: %+v\n%s", doc.SelfCheck, log)
+	}
+	var sum int
+	for size, count := range doc.EntitySizes {
+		sum += size * count
+	}
+	if sum != doc.Records {
+		t.Fatalf("entity size histogram covers %d records, store has %d", sum, doc.Records)
+	}
+}
+
+// TestStreamReplayDeterministicAcrossWorkers: the store fingerprint —
+// records, entity assignments, journal and index state — is identical
+// for every worker count.
+func TestStreamReplayDeterministicAcrossWorkers(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/stream")
+	fp := map[string]bool{}
+	for _, workers := range []string{"1", "4"} {
+		out := filepath.Join(t.TempDir(), "summary-"+workers+".json")
+		testkit.RunBinary(t, bin,
+			"-dataset", "DBLP-Scholar", "-scale", "0.06",
+			"-threshold", "0.6", "-workers", workers, "-out", out)
+		fp[readSummary(t, out).Fingerprint] = true
+	}
+	if len(fp) != 1 {
+		t.Fatalf("fingerprints diverge across worker counts: %v", fp)
+	}
+}
+
+// TestStreamReplayResume: a second replay over the same WAL skips
+// every record (idempotent resume) and lands on the same fingerprint;
+// a fresh process recovering from the snapshot alone agrees too.
+func TestStreamReplayResume(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/stream")
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "store.wal")
+	snap := filepath.Join(dir, "store.snap")
+	args := []string{
+		"-dataset", "DBLP-ACM", "-scale", "0.06", "-threshold", "0.6",
+		"-wal", wal, "-snapshot", snap, "-out", "",
+	}
+
+	first := filepath.Join(dir, "first.json")
+	args[len(args)-1] = first
+	testkit.RunBinary(t, bin, args...)
+	doc1 := readSummary(t, first)
+	if doc1.Skipped != 0 || doc1.Replayed == 0 {
+		t.Fatalf("first replay: %+v", doc1)
+	}
+
+	second := filepath.Join(dir, "second.json")
+	args[len(args)-1] = second
+	log := testkit.RunBinary(t, bin, args...)
+	doc2 := readSummary(t, second)
+	if doc2.Replayed != 0 || doc2.Skipped != doc1.Records {
+		t.Fatalf("resumed replay admitted records: %+v\n%s", doc2, log)
+	}
+	if !strings.Contains(log, "recovered") {
+		t.Fatalf("resumed replay did not report recovery:\n%s", log)
+	}
+	if doc1.Fingerprint != doc2.Fingerprint {
+		t.Fatalf("fingerprint changed across an idempotent resume:\n%s\n%s",
+			doc1.Fingerprint, doc2.Fingerprint)
+	}
+
+	// Snapshot-only recovery (no WAL) reaches the same state.
+	third := filepath.Join(dir, "third.json")
+	testkit.RunBinary(t, bin,
+		"-dataset", "DBLP-ACM", "-scale", "0.06", "-threshold", "0.6",
+		"-snapshot", snap, "-out", third)
+	if doc3 := readSummary(t, third); doc3.Fingerprint != doc1.Fingerprint {
+		t.Fatalf("snapshot-only recovery fingerprint diverged:\n%s\n%s",
+			doc1.Fingerprint, doc3.Fingerprint)
+	}
+}

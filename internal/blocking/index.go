@@ -1,0 +1,166 @@
+package blocking
+
+// The online (incremental) form of MinHash-LSH blocking: records are
+// inserted one at a time and candidate generation for a new record is
+// a lookup of its band buckets, with no rebuild. The index is the
+// blocking substrate of the live entity store (internal/stream).
+//
+// It computes exactly the signatures and band keys CandidatePairs
+// computes, so for an uncapped configuration (MaxBucketSize < 0) the
+// candidate relation is identical to batch blocking: two records are
+// candidates iff they share at least one band bucket, a condition that
+// depends only on record content and the configuration — never on
+// insertion order. With a positive cap, a bucket stops producing
+// candidates once admitting one more member would push it past the
+// cap; since buckets only grow, every batch candidate pair is still
+// found by the online index (the bucket was necessarily under the cap
+// when the later record arrived), so capped online candidates are a
+// superset of capped batch candidates. internal/stream documents what
+// that means for streaming clusterings.
+
+import (
+	"encoding/binary"
+	"io"
+	"sort"
+
+	"transer/internal/dataset"
+)
+
+// Signature is one record's MinHash signature under an Index's
+// configuration.
+type Signature []uint64
+
+// Index is an incrementally maintained MinHash-LSH blocking index.
+// Records are identified by their insertion sequence (0, 1, 2, ...).
+// The zero value is not usable; construct with NewIndex. Not safe for
+// concurrent use — the owning store serialises access.
+type Index struct {
+	cfg    MinHashConfig
+	hasher *minHasher
+	rows   int
+
+	buckets map[uint64][]int
+	n       int
+}
+
+// NewIndex builds an empty online index with the given configuration
+// (zero fields resolve to the package defaults, as in CandidatePairs).
+func NewIndex(cfg MinHashConfig) *Index {
+	cfg = cfg.withDefaults()
+	return &Index{
+		cfg:     cfg,
+		hasher:  newMinHasher(cfg.NumHashes, cfg.Seed),
+		rows:    cfg.NumHashes / cfg.Bands,
+		buckets: make(map[uint64][]int),
+	}
+}
+
+// Config returns the index's effective (defaulted) configuration.
+func (ix *Index) Config() MinHashConfig { return ix.cfg }
+
+// Len returns the number of inserted records.
+func (ix *Index) Len() int { return ix.n }
+
+// Signature computes the MinHash signature of a record. The signature
+// depends only on the record's values and the configuration, so it can
+// be computed once and reused for both Candidates and Add.
+func (ix *Index) Signature(r dataset.Record) Signature {
+	return Signature(ix.hasher.signature(shingleSet(r, ix.cfg.Attrs, ix.cfg.Q)))
+}
+
+// bandKeys returns the signature's per-band bucket keys.
+func (ix *Index) bandKeys(sig Signature) []uint64 {
+	keys := make([]uint64, ix.cfg.Bands)
+	for band := 0; band < ix.cfg.Bands; band++ {
+		keys[band] = bandKey(band, sig[band*ix.rows:(band+1)*ix.rows])
+	}
+	return keys
+}
+
+// Candidates returns the ids of previously inserted records sharing at
+// least one band bucket with the signature, deduplicated and sorted
+// ascending. Buckets that admitting the probe would push past the
+// bucket cap contribute nothing (cap <= 0 after defaulting means the
+// configured default; negative disables the cap).
+func (ix *Index) Candidates(sig Signature) []int {
+	var seen map[int]bool
+	for _, key := range ix.bandKeys(sig) {
+		members := ix.buckets[key]
+		if len(members) == 0 {
+			continue
+		}
+		if ix.cfg.MaxBucketSize > 0 && len(members)+1 > ix.cfg.MaxBucketSize {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[int]bool, len(members))
+		}
+		for _, id := range members {
+			seen[id] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Add inserts the signature into every band bucket and returns the
+// record's assigned id (its insertion sequence). Buckets keep growing
+// past any cap — the cap is applied at candidate-generation time, as
+// batch blocking applies it at pair-emission time.
+func (ix *Index) Add(sig Signature) int {
+	id := ix.n
+	ix.n++
+	for _, key := range ix.bandKeys(sig) {
+		ix.buckets[key] = append(ix.buckets[key], id)
+	}
+	return id
+}
+
+// WriteFingerprint writes a canonical rendering of the index state —
+// configuration shape plus every bucket (sorted by key) with its
+// member ids in insertion order — so stores can include the index in
+// their state fingerprints. Two indexes fed the same records in the
+// same order write identical bytes.
+func (ix *Index) WriteFingerprint(w io.Writer) error {
+	var buf [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	for _, v := range []uint64{
+		uint64(ix.cfg.NumHashes), uint64(ix.cfg.Bands), uint64(ix.cfg.Q),
+		uint64(int64(ix.cfg.Seed)), uint64(int64(ix.cfg.MaxBucketSize)), uint64(ix.n),
+	} {
+		if err := writeU64(v); err != nil {
+			return err
+		}
+	}
+	keys := make([]uint64, 0, len(ix.buckets))
+	for k := range ix.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if err := writeU64(k); err != nil {
+			return err
+		}
+		members := ix.buckets[k]
+		if err := writeU64(uint64(len(members))); err != nil {
+			return err
+		}
+		for _, id := range members {
+			if err := writeU64(uint64(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package blocking
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"transer/internal/dataset"
+	"transer/internal/testkit"
+)
+
+// onlinePairs streams both databases' records through an Index in the
+// given interleaved order and collects every (candidate, new) pair as
+// an unordered pair over the combined id space.
+func onlinePairs(records []dataset.Record, cfg MinHashConfig) map[[2]int]bool {
+	ix := NewIndex(cfg)
+	out := make(map[[2]int]bool)
+	for _, r := range records {
+		sig := ix.Signature(r)
+		for _, c := range ix.Candidates(sig) {
+			out[[2]int{c, ix.Len()}] = true
+		}
+		ix.Add(sig)
+	}
+	return out
+}
+
+// TestIndexMatchesBatchUncapped is the online/batch blocking
+// equivalence at the pair level: with the cap disabled, streaming a
+// dedup universe through the Index in any order yields exactly the
+// batch CandidatePairs self-join candidate set.
+func TestIndexMatchesBatchUncapped(t *testing.T) {
+	testkit.Run(t, "blocking/index-batch-equivalence", 10, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, pt.Size)
+		db := &dataset.Database{Name: "u", Schema: a.Schema}
+		db.Records = append(db.Records, a.Records...)
+		db.Records = append(db.Records, b.Records...)
+		if len(db.Records) == 0 {
+			return
+		}
+		cfg := MinHashConfig{Seed: pt.Seed, MaxBucketSize: -1}
+
+		// Batch reference: self-join candidates as unordered index pairs.
+		want := make(map[[2]int]bool)
+		for _, p := range CandidatePairs(db, db, cfg) {
+			if p.A < p.B {
+				want[[2]int{p.A, p.B}] = true
+			}
+		}
+
+		// Online, in natural order and in one shuffled order. The shuffled
+		// run permutes ids, so map them back before comparing.
+		got := onlinePairs(db.Records, cfg)
+		if len(got) != len(want) {
+			pt.Fatalf("online found %d pairs, batch %d", len(got), len(want))
+		}
+		for p := range got {
+			if !want[p] {
+				pt.Fatalf("online pair %v not a batch candidate", p)
+			}
+		}
+
+		order := pt.Rng.Perm(len(db.Records))
+		shuffled := make([]dataset.Record, len(order))
+		for pos, idx := range order {
+			shuffled[pos] = db.Records[idx]
+		}
+		gotShuffled := make(map[[2]int]bool)
+		for p := range onlinePairs(shuffled, cfg) {
+			i, j := order[p[0]], order[p[1]]
+			if i > j {
+				i, j = j, i
+			}
+			gotShuffled[[2]int{i, j}] = true
+		}
+		if len(gotShuffled) != len(want) {
+			pt.Fatalf("shuffled online found %d pairs, batch %d", len(gotShuffled), len(want))
+		}
+		for p := range gotShuffled {
+			if !want[p] {
+				pt.Fatalf("shuffled online pair %v not a batch candidate", p)
+			}
+		}
+	})
+}
+
+// TestIndexCappedSuperset: with a positive cap, online candidates are
+// a superset of capped batch candidates (buckets only grow, so a
+// bucket under the cap at batch end was under it at every insert).
+func TestIndexCappedSuperset(t *testing.T) {
+	testkit.Run(t, "blocking/index-capped-superset", 8, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, pt.Size)
+		db := &dataset.Database{Name: "u", Schema: a.Schema}
+		db.Records = append(db.Records, a.Records...)
+		db.Records = append(db.Records, b.Records...)
+		cfg := MinHashConfig{Seed: pt.Seed, MaxBucketSize: 6}
+
+		got := onlinePairs(db.Records, cfg)
+		for _, p := range CandidatePairs(db, db, cfg) {
+			if p.A < p.B && !got[[2]int{p.A, p.B}] {
+				pt.Fatalf("capped batch candidate %v missed by online index", p)
+			}
+		}
+	})
+}
+
+// TestIndexFingerprintDeterministic: equal insert sequences write
+// identical fingerprints; different sequences (almost surely) differ.
+func TestIndexFingerprintDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, _ := testkit.DatabasePair(rng, 24)
+	if len(a.Records) < 3 {
+		t.Skip("generator produced too few records")
+	}
+	fp := func(records []dataset.Record) []byte {
+		ix := NewIndex(MinHashConfig{Seed: 5})
+		for _, r := range records {
+			ix.Add(ix.Signature(r))
+		}
+		var buf bytes.Buffer
+		if err := ix.WriteFingerprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(fp(a.Records), fp(a.Records)) {
+		t.Fatal("identical insert sequences fingerprint differently")
+	}
+	rev := make([]dataset.Record, len(a.Records))
+	for i, r := range a.Records {
+		rev[len(rev)-1-i] = r
+	}
+	if bytes.Equal(fp(a.Records), fp(rev)) {
+		t.Fatal("reversed insert sequence fingerprints identically")
+	}
+}
+
+// TestNegativeCapDisablesBatchCap: a bucket over the default cap still
+// produces pairs when the cap is negative.
+func TestNegativeCapDisablesBatchCap(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{{Name: "t", Type: dataset.AttrText}}}
+	db := &dataset.Database{Name: "same", Schema: sch}
+	for i := 0; i < 150; i++ {
+		db.Records = append(db.Records, dataset.Record{
+			ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Values: []string{"identical shingle text value"},
+		})
+	}
+	capped := CandidatePairs(db, db, MinHashConfig{Seed: 1})
+	uncapped := CandidatePairs(db, db, MinHashConfig{Seed: 1, MaxBucketSize: -1})
+	if len(capped) != 0 {
+		t.Fatalf("default cap kept %d pairs from a 150-record stop bucket", len(capped))
+	}
+	if want := 150 * 150; len(uncapped) != want {
+		t.Fatalf("uncapped pairs = %d, want %d", len(uncapped), want)
+	}
+}

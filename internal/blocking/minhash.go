@@ -35,7 +35,11 @@ type MinHashConfig struct {
 	// configs is deterministic.
 	Seed int64
 	// MaxBucketSize skips LSH buckets larger than this (stop-word
-	// buckets that would explode the candidate set); 0 means 200.
+	// buckets that would explode the candidate set); 0 means 200 and a
+	// negative value disables the cap entirely. Uncapped blocking is
+	// what the streaming equivalence contract builds on: candidate
+	// membership then depends only on record content, never on how many
+	// other records happen to share a bucket (see internal/stream).
 	MaxBucketSize int
 }
 
@@ -183,7 +187,7 @@ func CandidatePairs(a, b *dataset.Database, cfg MinHashConfig) []dataset.Pair {
 		if len(bk.aIDs) == 0 || len(bk.bIDs) == 0 {
 			continue
 		}
-		if len(bk.aIDs)+len(bk.bIDs) > cfg.MaxBucketSize {
+		if cfg.MaxBucketSize > 0 && len(bk.aIDs)+len(bk.bIDs) > cfg.MaxBucketSize {
 			continue
 		}
 		for _, ai := range bk.aIDs {

@@ -127,6 +127,34 @@ func ConnectedComponents(edges []Edge, numA, numB int) []Cluster {
 	return out
 }
 
+// DedupComponents groups the records of ONE database by the
+// transitive closure of self-join match pairs (index pairs into the
+// same record space, the output of a dedup query). Unlike
+// ConnectedComponents it does not split nodes into A/B sides, so a
+// record is one node and closure works across chained pairs. Every
+// record 0..n-1 appears in exactly one component — singletons
+// included — and components are returned sorted by smallest member,
+// members ascending. This is the batch-side clustering the streaming
+// entity store (internal/stream) is proven equivalent to.
+func DedupComponents(pairs []dataset.Pair, n int) [][]int {
+	uf := newUnionFind(n)
+	for _, p := range pairs {
+		uf.union(p.A, p.B)
+	}
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		members[root] = append(members[root], i)
+	}
+	out := make([][]int, 0, len(members))
+	for _, m := range members {
+		sort.Ints(m)
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
 func first(xs []int) int {
 	if len(xs) == 0 {
 		return int(^uint(0) >> 1)

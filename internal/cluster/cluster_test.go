@@ -182,3 +182,33 @@ func randomEdges(seed int64, n int) []Edge {
 	}
 	return edges
 }
+
+func TestDedupComponents(t *testing.T) {
+	// Chained pairs close transitively: 0-1, 1-2 and 5-6 over 8 records.
+	pairs := []dataset.Pair{{A: 0, B: 1}, {A: 1, B: 2}, {A: 5, B: 6}}
+	got := DedupComponents(pairs, 8)
+	want := [][]int{{0, 1, 2}, {3}, {4}, {5, 6}, {7}}
+	if len(got) != len(want) {
+		t.Fatalf("components = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("components = %v, want %v", got, want)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("components = %v, want %v", got, want)
+			}
+		}
+	}
+	// Pair order does not matter.
+	rev := []dataset.Pair{{A: 5, B: 6}, {A: 1, B: 2}, {A: 0, B: 1}}
+	again := DedupComponents(rev, 8)
+	for i := range got {
+		for j := range got[i] {
+			if again[i][j] != got[i][j] {
+				t.Fatalf("pair order changed components: %v vs %v", again, got)
+			}
+		}
+	}
+}

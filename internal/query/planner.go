@@ -24,8 +24,8 @@ const (
 	// snMaxNull and snMinDistinct are the sort-key quality guards: a
 	// key attribute must be nearly always present and discriminative,
 	// otherwise windowed sorting misses too many matches.
-	snMaxNull      = 0.05
-	snMinDistinct  = 0.30
+	snMaxNull     = 0.05
+	snMinDistinct = 0.30
 	// canopyLoose and canopyTight are the default canopy thresholds
 	// over the cheap record similarity. Tight above 1 disables canopy
 	// consumption: every cross pair at or above the loose threshold

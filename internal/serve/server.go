@@ -8,6 +8,8 @@
 //	POST /v1/match         score one record pair
 //	POST /v1/match/batch   score N pairs (index-addressed, deterministic)
 //	POST /v1/query         planned similarity join of uploaded record sets
+//	POST /v1/ingest        admit records into the live entity store (with Config.Stream)
+//	POST /v1/resolve       read-only probe against the live entity store (with Config.Stream)
 //	GET  /v1/models        describe the loaded model
 //	POST /v1/models/reload hot-swap the model from its artifact file
 //	GET  /healthz          liveness probe
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"transer/internal/obs"
+	"transer/internal/stream"
 )
 
 // Config parameterises a Server. The zero value of every field gets a
@@ -66,6 +69,12 @@ type Config struct {
 	// registry surfaced by /metrics. With a nil tracer the server keeps
 	// a private registry, so /metrics works either way.
 	Tracer *obs.Tracer
+	// Stream, when non-nil, enables the streaming entity-store
+	// endpoints POST /v1/ingest and POST /v1/resolve against this
+	// store (see internal/stream). Build the store with the same
+	// metrics registry as the server so its stream.* counters appear
+	// in /metrics.
+	Stream *stream.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +162,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/match", s.scored("match", s.handleMatch))
 	mux.HandleFunc("POST /v1/match/batch", s.scored("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/query", s.scored("query", s.handleQuery))
+	if s.cfg.Stream != nil {
+		mux.HandleFunc("POST /v1/ingest", s.scored("ingest", s.handleIngest))
+		mux.HandleFunc("POST /v1/resolve", s.scored("resolve", s.handleResolve))
+	}
 	return mux
 }
 

@@ -1,0 +1,120 @@
+package serve
+
+// Streaming entity-store endpoints. When Config.Stream carries a live
+// store (cmd/serve -stream), two more routes join the scored set:
+//
+//	POST /v1/ingest  admit records into the store, returning each
+//	                 record's entity resolution (stable entity IDs,
+//	                 journaled merges)
+//	POST /v1/resolve read-only probe: which stored entity does this
+//	                 record match, without admitting it
+//
+// Both run behind the same admission gate, per-request deadline and
+// request accounting as the scoring endpoints; the store publishes the
+// stream.* counter family into the registry it was built with (wired
+// to the server's registry by cmd/serve).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"transer/internal/stream"
+)
+
+// IngestResponse is the body of POST /v1/ingest.
+type IngestResponse struct {
+	Model string `json:"model"`
+	// Count is the number of records admitted by this request.
+	Count int `json:"count"`
+	// Results reports each record's resolution, in request order.
+	Results []stream.IngestResult `json:"results"`
+	// Stats is the store summary after this ingest.
+	Stats stream.Stats `json:"stats"`
+}
+
+// ResolveResponse is the body of POST /v1/resolve.
+type ResolveResponse struct {
+	Model string `json:"model"`
+	stream.ResolveResult
+}
+
+// readBody drains the (size-capped) request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		} else {
+			s.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Stream
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	recs, err := stream.DecodeRecords(data, st.Schema())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(recs) > s.cfg.MaxBatchPairs {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("ingest of %d records exceeds the limit of %d", len(recs), s.cfg.MaxBatchPairs))
+		return
+	}
+	results := make([]stream.IngestResult, 0, len(recs))
+	for i, rec := range recs {
+		res, err := st.Ingest(r.Context(), rec)
+		if err != nil {
+			// Ingest is sequential and atomic per record: the first
+			// len(results) records are admitted, the rest are not.
+			if r.Context().Err() != nil {
+				s.writeError(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("ingest aborted at record %d (%d admitted): %v", i, len(results), err))
+			} else {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("record %d rejected (%d admitted): %v", i, len(results), err))
+			}
+			return
+		}
+		results = append(results, res)
+	}
+	s.writeJSON(w, http.StatusOK, IngestResponse{
+		Model:   s.reg.Matcher().Artifact.Name,
+		Count:   len(results),
+		Results: results,
+		Stats:   st.Stats(),
+	})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Stream
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	rec, err := stream.DecodeRecord(data, st.Schema())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := st.Resolve(r.Context(), rec)
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "resolve aborted: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ResolveResponse{
+		Model:         s.reg.Matcher().Artifact.Name,
+		ResolveResult: res,
+	})
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"transer/internal/obs"
+	"transer/internal/stream"
+	"transer/internal/testkit"
+)
+
+// streamServer builds a server with a live entity store wired to the
+// same registry, as cmd/serve -stream does.
+func streamServer(tb testing.TB) (*Server, *stream.Store) {
+	tb.Helper()
+	m := trainedMatcher(tb)
+	tr := obs.New("serve-test")
+	cfg := stream.FromMatcher(m)
+	cfg.Metrics = tr.Metrics()
+	st, err := stream.NewStore(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := newTestServer(tb, Config{Registry: StaticRegistry(m), Tracer: tr, Stream: st})
+	return s, st
+}
+
+// streamPayload renders records for the ingest wire format.
+func streamPayload(values ...map[string]string) map[string]any {
+	recs := make([]map[string]any, 0, len(values))
+	for _, v := range values {
+		recs = append(recs, map[string]any{"attrs": v})
+	}
+	return map[string]any{"records": recs}
+}
+
+// TestIngestResolveEndpoints walks the streaming happy path over HTTP:
+// ingest opens entities, duplicate content joins them, resolve probes
+// without admitting, and the stream.* counters land in /metrics.
+func TestIngestResolveEndpoints(t *testing.T) {
+	s, st := streamServer(t)
+	h := s.Handler()
+
+	rec := map[string]string{"name": "willow tam", "desc": "quiet river harbour", "year": "1987"}
+	w := postJSON(t, h, "/v1/ingest", streamPayload(rec, rec))
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", w.Code, w.Body.String())
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Count != 2 || len(ing.Results) != 2 {
+		t.Fatalf("ingest response: %+v", ing)
+	}
+	if !ing.Results[0].Created || ing.Results[1].Created {
+		t.Fatalf("duplicate record opened a fresh entity: %+v", ing.Results)
+	}
+	if ing.Results[0].EntityID != ing.Results[1].EntityID {
+		t.Fatalf("duplicate records in different entities: %+v", ing.Results)
+	}
+	if ing.Stats.Records != 2 || ing.Stats.Entities != 1 {
+		t.Fatalf("stats: %+v", ing.Stats)
+	}
+
+	w = postJSON(t, h, "/v1/resolve", map[string]any{"attrs": rec})
+	if w.Code != http.StatusOK {
+		t.Fatalf("resolve: %d: %s", w.Code, w.Body.String())
+	}
+	var res ResolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched || res.EntityID != ing.Results[0].EntityID {
+		t.Fatalf("resolve: %+v", res)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("resolve admitted a record: store has %d", st.Len())
+	}
+
+	var metrics MetricsResponse
+	getJSON(t, h, "/metrics", &metrics)
+	if metrics.Metrics.Counters["stream.ingested_total"] != 2 {
+		t.Errorf("stream.ingested_total = %d", metrics.Metrics.Counters["stream.ingested_total"])
+	}
+	if metrics.Metrics.Counters["stream.resolved_total"] != 1 {
+		t.Errorf("stream.resolved_total = %d", metrics.Metrics.Counters["stream.resolved_total"])
+	}
+	if metrics.Metrics.Counters["serve.ingest.requests_total"] != 1 ||
+		metrics.Metrics.Counters["serve.resolve.requests_total"] != 1 {
+		t.Errorf("per-route counters: %+v", metrics.Metrics.Counters)
+	}
+}
+
+// TestIngestValidation: strict parsing surfaces as 400s, oversized
+// batches as 413, and rejected requests leave the store unchanged.
+func TestIngestValidation(t *testing.T) {
+	s, st := streamServer(t)
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"unknown attribute", `{"records":[{"attrs":{"bogus":"x"}}]}`, http.StatusBadRequest},
+		{"unknown field", `{"records":[{"attrs":{},"typo":1}]}`, http.StatusBadRequest},
+		{"no records", `{"records":[]}`, http.StatusBadRequest},
+		{"not json", `nope`, http.StatusBadRequest},
+		{"trailing data", `{"records":[{"attrs":{}}]} junk`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(tc.body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != tc.code {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, w.Code, tc.code, w.Body.String())
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatalf("rejected ingests grew the store to %d", st.Len())
+	}
+
+	// Duplicate ids reject the offending record and report how many
+	// were admitted before it.
+	body := `{"records":[{"id":"a","attrs":{"name":"x"}},{"id":"a","attrs":{"name":"y"}}]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "1 admitted") {
+		t.Fatalf("duplicate id: %d: %s", w.Code, w.Body.String())
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store after partial ingest: %d records", st.Len())
+	}
+}
+
+// TestStreamEndpointsDisabled: without Config.Stream the routes do not
+// exist.
+func TestStreamEndpointsDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	for _, path := range []string{"/v1/ingest", "/v1/resolve"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}"))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusNotFound {
+			t.Errorf("%s without a store: %d", path, w.Code)
+		}
+	}
+}
+
+// TestStreamEndpointsGated: the streaming routes sit behind the same
+// admission gate as scoring — a saturated server sheds them with 429.
+func TestStreamEndpointsGated(t *testing.T) {
+	m := trainedMatcher(t)
+	cfg := stream.FromMatcher(m)
+	st, err := stream.NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Registry: StaticRegistry(m), Stream: st, MaxInFlight: 1, MaxQueue: -1})
+	// Hold the only slot.
+	release := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		s.gate.acquire(context.Background())
+		close(acquired)
+		<-release
+		s.gate.release()
+	}()
+	<-acquired
+	defer close(release)
+
+	for _, path := range []string{"/v1/ingest", "/v1/resolve"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}"))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusTooManyRequests {
+			t.Errorf("%s on a saturated server: %d, want 429", path, w.Code)
+		}
+	}
+}
+
+// TestIngestResolveDeterministicAcrossWorkers: like batch scoring, the
+// streaming endpoints answer byte-identically for every worker count.
+func TestIngestResolveDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a, b := testkit.DatabasePair(rng, 24)
+	mk := func(workers int) (string, string) {
+		m := trainedMatcher(t)
+		cfg := stream.FromMatcher(m)
+		cfg.Workers = workers
+		st, err := stream.NewStore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newTestServer(t, Config{Registry: StaticRegistry(m), Stream: st, Workers: workers})
+		h := s.Handler()
+		var ingests strings.Builder
+		var last string
+		for _, rec := range a.Records {
+			w := postJSON(t, h, "/v1/ingest", streamPayload(map[string]string{
+				"name": rec.Values[0], "desc": rec.Values[1], "year": rec.Values[2],
+			}))
+			if w.Code != http.StatusOK {
+				t.Fatalf("ingest: %d: %s", w.Code, w.Body.String())
+			}
+			ingests.WriteString(w.Body.String())
+		}
+		for _, rec := range b.Records[:8] {
+			w := postJSON(t, h, "/v1/resolve", map[string]any{"attrs": map[string]string{
+				"name": rec.Values[0], "desc": rec.Values[1], "year": rec.Values[2],
+			}})
+			if w.Code != http.StatusOK {
+				t.Fatalf("resolve: %d: %s", w.Code, w.Body.String())
+			}
+			last += w.Body.String()
+		}
+		return ingests.String(), last
+	}
+	i1, r1 := mk(1)
+	i3, r3 := mk(3)
+	if i1 != i3 {
+		t.Fatal("ingest responses differ between worker counts")
+	}
+	if r1 != r3 {
+		t.Fatal("resolve responses differ between worker counts")
+	}
+}

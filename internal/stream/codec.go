@@ -1,0 +1,110 @@
+package stream
+
+// The wire codec for streaming ingest/resolve payloads. It lives in
+// the stream package (not internal/serve) so the serve handlers, the
+// batch-replay binary and the fuzz target all parse records through
+// the exact same code path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"transer/internal/dataset"
+)
+
+// WireRecord is one record on the wire: an optional client-chosen id
+// plus attribute name → value. Unknown attributes are an error
+// (client typos must surface, not silently score a half-empty
+// record); absent attributes are empty strings, handled by the
+// comparison scheme's missing-value policy.
+type WireRecord struct {
+	ID    string            `json:"id,omitempty"`
+	Attrs map[string]string `json:"attrs"`
+}
+
+// wireBatch is the ingest/replay request body: {"records": [...]}.
+type wireBatch struct {
+	Records []WireRecord `json:"records"`
+}
+
+// DecodeRecords parses an ingest payload against a schema. The
+// decoder is strict: unknown JSON fields, wrongly-typed values,
+// trailing data after the document, and attribute names outside the
+// schema are all errors. Value strings pass through verbatim —
+// "NaN"-ish text is data, not a number, and the comparators treat it
+// as such.
+func DecodeRecords(data []byte, schema dataset.Schema) ([]dataset.Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var body wireBatch
+	if err := dec.Decode(&body); err != nil {
+		return nil, fmt.Errorf("stream: bad ingest payload: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("stream: trailing data after ingest payload")
+	}
+	if len(body.Records) == 0 {
+		return nil, errors.New("stream: ingest payload has no records")
+	}
+	return recordsFromWire(body.Records, schema)
+}
+
+// DecodeRecord parses a single-record payload ({"id": ..., "attrs":
+// {...}}), the resolve request body.
+func DecodeRecord(data []byte, schema dataset.Schema) (dataset.Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var wr WireRecord
+	if err := dec.Decode(&wr); err != nil {
+		return dataset.Record{}, fmt.Errorf("stream: bad record payload: %w", err)
+	}
+	if dec.More() {
+		return dataset.Record{}, errors.New("stream: trailing data after record payload")
+	}
+	out, err := recordsFromWire([]WireRecord{wr}, schema)
+	if err != nil {
+		return dataset.Record{}, err
+	}
+	return out[0], nil
+}
+
+func recordsFromWire(wire []WireRecord, schema dataset.Schema) ([]dataset.Record, error) {
+	attrIndex := make(map[string]int, len(schema.Attributes))
+	for i, a := range schema.Attributes {
+		attrIndex[a.Name] = i
+	}
+	out := make([]dataset.Record, 0, len(wire))
+	for n, wr := range wire {
+		r := dataset.Record{ID: wr.ID, Values: make([]string, len(schema.Attributes))}
+		for k, v := range wr.Attrs {
+			i, ok := attrIndex[k]
+			if !ok {
+				return nil, fmt.Errorf("stream: record %d: unknown attribute %q (schema has %v)", n, k, schema.Names())
+			}
+			r.Values[i] = v
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EncodeRecords renders records back to the wire form, the inverse of
+// DecodeRecords (empty values are kept so the round trip is exact for
+// schema-width records).
+func EncodeRecords(w io.Writer, records []dataset.Record, schema dataset.Schema) error {
+	batch := wireBatch{Records: make([]WireRecord, 0, len(records))}
+	for _, r := range records {
+		wr := WireRecord{ID: r.ID, Attrs: make(map[string]string, len(schema.Attributes))}
+		for i, a := range schema.Attributes {
+			if i < len(r.Values) {
+				wr.Attrs[a.Name] = r.Values[i]
+			}
+		}
+		batch.Records = append(batch.Records, wr)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(batch)
+}

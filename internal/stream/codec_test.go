@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeRecords(t *testing.T) {
+	sch := twoAttrSchema()
+
+	recs, err := DecodeRecords([]byte(`{"records":[{"id":"a","attrs":{"name":"ada","city":"london"}},{"attrs":{"name":"bob"}}]}`), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ID != "a" || recs[0].Values[0] != "ada" || recs[0].Values[1] != "london" {
+		t.Fatalf("record 0: %+v", recs[0])
+	}
+	if recs[1].ID != "" || recs[1].Values[0] != "bob" || recs[1].Values[1] != "" {
+		t.Fatalf("record 1 (missing attrs default empty): %+v", recs[1])
+	}
+
+	cases := map[string]string{
+		"unknown attribute": `{"records":[{"attrs":{"nope":"x"}}]}`,
+		"unknown field":     `{"records":[{"attrs":{},"extra":1}]}`,
+		"trailing data":     `{"records":[{"attrs":{}}]} {"more":true}`,
+		"no records":        `{"records":[]}`,
+		"wrong type":        `{"records":[{"attrs":{"name":42}}]}`,
+		"not json":          `records: name`,
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRecords([]byte(payload), sch); err == nil {
+			t.Errorf("%s accepted: %s", name, payload)
+		}
+	}
+}
+
+func TestDecodeRecord(t *testing.T) {
+	sch := twoAttrSchema()
+	r, err := DecodeRecord([]byte(`{"id":"p","attrs":{"city":"paris"}}`), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "p" || r.Values[1] != "paris" || r.Values[0] != "" {
+		t.Fatalf("record: %+v", r)
+	}
+	if _, err := DecodeRecord([]byte(`{"attrs":{"bad":"x"}}`), sch); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := DecodeRecord([]byte(`{"attrs":{}} junk`), sch); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sch := twoAttrSchema()
+	in, err := DecodeRecords([]byte(`{"records":[{"id":"a","attrs":{"name":"ada","city":"london"}},{"id":"b","attrs":{"name":"nan","city":"NaN"}}]}`), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := EncodeRecords(&buf, in, sch); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecords([]byte(buf.String()), sch)
+	if err != nil {
+		t.Fatalf("re-decoding our own encoding: %v\n%s", err, buf.String())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed count: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i].ID != out[i].ID {
+			t.Fatalf("record %d id changed: %q -> %q", i, in[i].ID, out[i].ID)
+		}
+		for j := range in[i].Values {
+			if in[i].Values[j] != out[i].Values[j] {
+				t.Fatalf("record %d value %d changed: %q -> %q", i, j, in[i].Values[j], out[i].Values[j])
+			}
+		}
+	}
+}

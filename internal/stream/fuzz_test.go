@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"transer/internal/dataset"
+)
+
+// FuzzIngestRecord feeds arbitrary bytes to the ingest payload parser:
+// it must either reject the input with an error or return
+// schema-width records that survive an encode → decode round trip and
+// ingest cleanly into a live store. Panics, wrong-width records and
+// silently dropped values are the bugs this hunts (schema mismatch,
+// missing/extra fields and NaN-ish strings are all in the seed
+// corpus).
+func FuzzIngestRecord(f *testing.F) {
+	f.Add([]byte(`{"records":[{"id":"a","attrs":{"name":"ada lovelace","city":"london"}}]}`))
+	f.Add([]byte(`{"records":[{"attrs":{"name":"no id"}},{"attrs":{"city":"no name"}}]}`))
+	f.Add([]byte(`{"records":[{"attrs":{"name":"NaN","city":"-Inf"}}]}`))
+	f.Add([]byte(`{"records":[{"attrs":{"bogus":"unknown attribute"}}]}`))
+	f.Add([]byte(`{"records":[{"attrs":{"name":"x"},"extra":"field"}]}`))
+	f.Add([]byte(`{"records":[{"attrs":{"name":42}}]}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{"records":[{"attrs":{}}]} trailing`))
+	f.Add([]byte("{\"records\":[{\"id\":\" \",\"attrs\":{\"name\":\"\xc3\x28\"}}]}"))
+	f.Add([]byte(`not json`))
+
+	schema := dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "name", Type: dataset.AttrName},
+		{Name: "city", Type: dataset.AttrText},
+	}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data, schema)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if len(recs) == 0 {
+			t.Fatal("DecodeRecords returned no records without an error")
+		}
+		for i, r := range recs {
+			if len(r.Values) != len(schema.Attributes) {
+				t.Fatalf("record %d has %d values, schema %d", i, len(r.Values), len(schema.Attributes))
+			}
+		}
+		var buf bytes.Buffer
+		if werr := EncodeRecords(&buf, recs, schema); werr != nil {
+			t.Fatalf("EncodeRecords on parsed records: %v", werr)
+		}
+		again, rerr := DecodeRecords(buf.Bytes(), schema)
+		if rerr != nil {
+			t.Fatalf("re-decoding our own encoding: %v\n%s", rerr, buf.Bytes())
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			for j := range recs[i].Values {
+				if recs[i].Values[j] != again[i].Values[j] {
+					t.Fatalf("round trip changed record %d value %d: %q -> %q",
+						i, j, recs[i].Values[j], again[i].Values[j])
+				}
+			}
+		}
+		// Parsed records must ingest cleanly. Colliding record ids
+		// (wire duplicates, or a wire id shadowing an assigned r<seq>)
+		// are the one legitimate rejection.
+		st, serr := NewStore(Config{Schema: schema, Threshold: 0.9})
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		for _, r := range recs {
+			if _, ierr := st.Ingest(context.Background(), r); ierr != nil &&
+				!strings.Contains(ierr.Error(), "already stored") {
+				t.Fatalf("parsed record rejected by ingest: %v (%+v)", ierr, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"transer/internal/blocking"
+	"transer/internal/dataset"
+	"transer/internal/obs"
+	"transer/internal/testkit"
+)
+
+func twoAttrSchema() dataset.Schema {
+	return dataset.Schema{Attributes: []dataset.Attribute{
+		{Name: "name", Type: dataset.AttrName},
+		{Name: "city", Type: dataset.AttrText},
+	}}
+}
+
+func mustStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	st, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func ingest(t *testing.T, st *Store, id string, values ...string) IngestResult {
+	t.Helper()
+	res, err := st.Ingest(context.Background(), dataset.Record{ID: id, Values: values})
+	if err != nil {
+		t.Fatalf("ingest %s: %v", id, err)
+	}
+	return res
+}
+
+// TestIngestResolveBasic walks the happy path: duplicates land in one
+// entity, an unrelated record gets its own, and a read-only resolve
+// finds the right entity without growing the store.
+func TestIngestResolveBasic(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := mustStore(t, Config{Schema: twoAttrSchema(), Threshold: 0.8, Metrics: reg})
+
+	r1 := ingest(t, st, "a1", "ada lovelace", "london")
+	if !r1.Created || r1.EntityID != 1 {
+		t.Fatalf("first record: %+v", r1)
+	}
+	r2 := ingest(t, st, "a2", "ada lovelace", "london")
+	if r2.Created || r2.EntityID != 1 {
+		t.Fatalf("duplicate record should join entity 1: %+v", r2)
+	}
+	r3 := ingest(t, st, "b1", "grace hopper", "new york")
+	if !r3.Created || r3.EntityID != 2 {
+		t.Fatalf("unrelated record should open entity 2: %+v", r3)
+	}
+
+	probe := dataset.Record{Values: []string{"ada lovelace", "london"}}
+	res, err := st.Resolve(context.Background(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched || res.EntityID != 1 {
+		t.Fatalf("resolve: %+v", res)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("resolve must not admit records, len=%d", st.Len())
+	}
+	stats := st.Stats()
+	if stats.Records != 3 || stats.Entities != 2 || stats.Resolves != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if got := reg.Counter("stream.ingested_total").Value(); got != 3 {
+		t.Fatalf("stream.ingested_total = %d", got)
+	}
+	if got := reg.Counter("stream.resolved_total").Value(); got != 1 {
+		t.Fatalf("stream.resolved_total = %d", got)
+	}
+}
+
+// TestMergeJournal forces a bridge record that unites two existing
+// entities and checks the merge is journaled with the smaller (older)
+// entity surviving.
+func TestMergeJournal(t *testing.T) {
+	sch := dataset.Schema{Attributes: []dataset.Attribute{{Name: "t", Type: dataset.AttrText}}}
+	st := mustStore(t, Config{
+		Schema:    sch,
+		Threshold: 0.45,
+		LSH:       blocking.MinHashConfig{Q: 2},
+	})
+	r1 := ingest(t, st, "x", "alpha beta gamma delta")
+	r2 := ingest(t, st, "y", "epsilon zeta eta theta iota")
+	if r1.EntityID == r2.EntityID {
+		t.Fatalf("setup: records should start in different entities (%d, %d)", r1.EntityID, r2.EntityID)
+	}
+	// The bridge shares enough of both strings to match each side.
+	r3 := ingest(t, st, "z", "alpha beta gamma delta epsilon zeta eta theta iota")
+	if len(r3.Matches) < 2 {
+		t.Skipf("bridge matched %d records; similarity landscape changed", len(r3.Matches))
+	}
+	if len(r3.Merges) != 1 {
+		t.Fatalf("expected exactly one journaled merge, got %+v", r3.Merges)
+	}
+	m := r3.Merges[0]
+	if m.From != r2.EntityID || m.Into != r1.EntityID {
+		t.Fatalf("merge should retire the younger entity: %+v", m)
+	}
+	for _, id := range []string{"x", "y", "z"} {
+		e, ok := st.EntityOf(id)
+		if !ok || e != r1.EntityID {
+			t.Fatalf("record %s: entity %d, want %d", id, e, r1.EntityID)
+		}
+	}
+	if j := st.Journal(); len(j) != 1 || j[0] != m {
+		t.Fatalf("journal: %+v", j)
+	}
+	if stats := st.Stats(); stats.Entities != 1 || stats.Merges != 1 {
+		t.Fatalf("stats after merge: %+v", stats)
+	}
+}
+
+// TestEntityIDStability is the ID contract: across a whole generated
+// stream, a stored record's entity ID never changes except through a
+// merge chain journaled by the very ingest that changed it.
+func TestEntityIDStability(t *testing.T) {
+	testkit.Run(t, "stream/entity-id-stability", 8, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, pt.Size)
+		records := append(append([]dataset.Record(nil), a.Records...), b.Records...)
+		if len(records) == 0 {
+			return
+		}
+		st, err := NewStore(Config{Schema: a.Schema, Threshold: 0.5, LSH: blocking.MinHashConfig{Seed: pt.Seed}})
+		if err != nil {
+			pt.Fatalf("NewStore: %v", err)
+		}
+		known := make(map[string]uint64)
+		for pos, r := range pt.Rng.Perm(len(records)) {
+			rec := records[r]
+			rec.ID = "" // let the store assign r<seq>, avoiding cross-db collisions
+			res, ierr := st.Ingest(context.Background(), rec)
+			if ierr != nil {
+				pt.Fatalf("ingest %d: %v", pos, ierr)
+			}
+			for id, old := range known {
+				now, ok := st.EntityOf(id)
+				if !ok {
+					pt.Fatalf("record %s vanished", id)
+				}
+				// Chase old through this ingest's journaled merges; the
+				// result must be the record's current ID.
+				want := old
+				for _, m := range res.Merges {
+					if want == m.From {
+						want = m.Into
+					}
+				}
+				if now != want {
+					pt.Fatalf("record %s entity changed %d -> %d without a journaled merge chain (merges %+v)",
+						id, old, now, res.Merges)
+				}
+				known[id] = now
+			}
+			known[res.RecordID] = res.EntityID
+		}
+	})
+}
+
+// TestIngestErrors covers the validation surface: wrong width,
+// duplicate ids, canceled contexts — all leave the store untouched.
+func TestIngestErrors(t *testing.T) {
+	st := mustStore(t, Config{Schema: twoAttrSchema(), Threshold: 0.8})
+	ingest(t, st, "a1", "ada lovelace", "london")
+	fpBefore, err := st.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Ingest(context.Background(), dataset.Record{ID: "w", Values: []string{"just one"}}); err == nil ||
+		!strings.Contains(err.Error(), "values") {
+		t.Fatalf("width mismatch not rejected: %v", err)
+	}
+	if _, err := st.Ingest(context.Background(), dataset.Record{ID: "a1", Values: []string{"x", "y"}}); err == nil ||
+		!strings.Contains(err.Error(), "already stored") {
+		t.Fatalf("duplicate id not rejected: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.Ingest(ctx, dataset.Record{ID: "c1", Values: []string{"ada lovelace", "london"}}); err == nil {
+		t.Fatal("canceled context not rejected")
+	}
+
+	if st.Len() != 1 {
+		t.Fatalf("failed ingests mutated the store: len=%d", st.Len())
+	}
+	fpAfter, err := st.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpAfter != fpBefore {
+		t.Fatal("failed ingests changed the fingerprint")
+	}
+}
+
+// TestConfigValidation rejects unusable configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewStore(Config{Schema: twoAttrSchema(), Threshold: 1.5}); err == nil {
+		t.Fatal("threshold > 1 accepted")
+	}
+}
+
+// TestFingerprintOrderSensitive: the fingerprint is a state identity,
+// so different ingest orders (different seqs and entity numbering)
+// must not collide, while identical sequences must.
+func TestFingerprintOrderSensitive(t *testing.T) {
+	mk := func(order []string) string {
+		st := mustStore(t, Config{Schema: twoAttrSchema(), Threshold: 0.8})
+		for _, id := range order {
+			ingest(t, st, id, "name "+id, "city "+id)
+		}
+		fp, err := st.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	if mk([]string{"a", "b"}) == mk([]string{"b", "a"}) {
+		t.Fatal("different ingest orders fingerprint identically")
+	}
+	if mk([]string{"a", "b"}) != mk([]string{"a", "b"}) {
+		t.Fatal("identical ingest sequences fingerprint differently")
+	}
+}

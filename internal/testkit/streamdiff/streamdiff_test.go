@@ -1,0 +1,118 @@
+package streamdiff
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"transer/internal/blocking"
+	"transer/internal/datagen"
+	"transer/internal/stream"
+	"transer/internal/testkit"
+)
+
+// TestStreamEqualsBatchProperty is the differential property: for
+// generated record universes and shuffled ingest orders, the streaming
+// partition equals the batch query+closure partition. Runs under the
+// testkit property runner, so failures shrink by size and print a
+// (seed, size) repro line; the ingest order itself is printed by
+// Check.
+func TestStreamEqualsBatchProperty(t *testing.T) {
+	testkit.Run(t, "streamdiff/stream-equals-batch", 10, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, pt.Size)
+		db := Universe(a, b)
+		if len(db.Records) == 0 {
+			return
+		}
+		thresholds := []float64{0.35, 0.5, 0.65, 0.8}
+		cfg := stream.Config{
+			Schema:    db.Schema,
+			Threshold: thresholds[pt.Rng.Intn(len(thresholds))],
+			LSH:       blocking.MinHashConfig{Seed: pt.Seed},
+			Workers:   1 + pt.Rng.Intn(4),
+		}
+		Check(pt, context.Background(), db, cfg, pt.Rng, 3)
+	})
+}
+
+// TestStreamEqualsBatchBuiltins is the acceptance-criteria run: on two
+// builtin dataset pairs (clean DBLP-ACM and dirty DBLP-Scholar), the
+// streaming partition equals batch across five shuffled ingest orders
+// plus the natural order. CI runs this package under -race.
+func TestStreamEqualsBatchBuiltins(t *testing.T) {
+	scale := 0.12
+	orders := 5
+	if testing.Short() {
+		scale, orders = 0.06, 2
+	}
+	for _, key := range []string{"DBLP-ACM", "DBLP-Scholar"} {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			b, ok := datagen.BuiltinByKey(key)
+			if !ok {
+				t.Fatalf("builtin %q missing", key)
+			}
+			pair := b.Make(scale)
+			db := Universe(pair.A, pair.B)
+			cfg := stream.Config{
+				Schema:    db.Schema,
+				Threshold: 0.6,
+				LSH:       pair.Blocking,
+				Workers:   4,
+			}
+			rng := rand.New(rand.NewSource(b.Seed))
+			if Check(t, context.Background(), db, cfg, rng, orders) {
+				t.Logf("%s: %d records equal across natural + %d shuffled orders", key, len(db.Records), orders)
+			}
+		})
+	}
+}
+
+// TestCappedStreamCoarsensBatch characterizes the one blocking mode
+// where streaming may legitimately diverge: with a positive bucket
+// cap, the streaming partition coarsens the batch partition (never
+// splits it, never regroups it differently).
+func TestCappedStreamCoarsensBatch(t *testing.T) {
+	testkit.Run(t, "streamdiff/capped-coarsens", 8, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, pt.Size)
+		db := Universe(a, b)
+		if len(db.Records) == 0 {
+			return
+		}
+		cfg := stream.Config{
+			Schema:    db.Schema,
+			Threshold: 0.5,
+			LSH:       blocking.MinHashConfig{Seed: pt.Seed, MaxBucketSize: 8},
+			Workers:   2,
+		}
+		batch, err := BatchPartition(context.Background(), db, cfg)
+		if err != nil {
+			pt.Fatalf("batch reference: %v", err)
+		}
+		for k := 0; k < 3; k++ {
+			perm := pt.Rng.Perm(len(db.Records))
+			streamed, _, err := StreamPartition(context.Background(), db, cfg, perm)
+			if err != nil {
+				pt.Fatalf("stream run: %v", err)
+			}
+			if !Coarsens(streamed, batch) {
+				pt.Fatalf("capped streaming partition does not coarsen batch\nbatch:  %s\nstream: %s\norder: %v",
+					Format(batch), Format(streamed), perm)
+			}
+		}
+	})
+}
+
+// TestCoarsens sanity-checks the Coarsens predicate itself.
+func TestCoarsens(t *testing.T) {
+	coarse := [][]int{{0, 1, 2}, {3, 4}}
+	if !Coarsens(coarse, [][]int{{0, 1}, {2}, {3, 4}}) {
+		t.Fatal("valid refinement rejected")
+	}
+	if Coarsens(coarse, [][]int{{0, 3}, {1, 2}, {4}}) {
+		t.Fatal("cross-group fine cluster accepted")
+	}
+	if Coarsens(coarse, [][]int{{0, 5}}) {
+		t.Fatal("unknown member accepted")
+	}
+}
