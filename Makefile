@@ -92,8 +92,14 @@ bench-serve: $(MODEL)
 	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:18080/healthz >/dev/null && break; sleep 0.1; done; \
 	for i in $$(seq 1 200); do curl -sf -X POST http://127.0.0.1:18080/v1/match -d '{"a":{},"b":{}}' >/dev/null || exit 1; done; \
 	kill -TERM $$pid; wait $$pid
-	$(GO) run ./cmd/benchreport -note "make bench-serve: 200x POST /v1/match against cmd/serve" \
-		.model-data/serve-report.json > BENCH_serve.json
+	@./.model-data/serve-bin -model $(MODEL) -addr 127.0.0.1:18080 \
+		-log-out .model-data/serve-events.jsonl -log-level debug \
+		-metrics-out .model-data/serve-report-log.json & pid=$$!; \
+	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:18080/healthz >/dev/null && break; sleep 0.1; done; \
+	for i in $$(seq 1 200); do curl -sf -X POST http://127.0.0.1:18080/v1/match -d '{"a":{},"b":{}}' >/dev/null || exit 1; done; \
+	kill -TERM $$pid; wait $$pid
+	$(GO) run ./cmd/benchreport -note "make bench-serve: 200x POST /v1/match against cmd/serve; run 1 logging disabled, run 2 -log-out JSONL at -log-level debug" \
+		.model-data/serve-report.json .model-data/serve-report-log.json > BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 
 # Bounded fuzzing smoke: each native fuzz target runs for a short,

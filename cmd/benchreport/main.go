@@ -84,6 +84,12 @@ var phases = map[string]bool{
 	// ingested record and per read-only resolve probe, so Count is the
 	// record count and TotalMS/Count the per-record latency.
 	"ingest": true, "resolve": true,
+	// Observability phases: "log:flush" is the structured-log shutdown
+	// flush every binary spans when -log-out is set; "trace" covers
+	// trace-capture maintenance spans; "explain" covers provenance
+	// assembly on ?explain=1 requests. Their cost is what the
+	// log-enabled vs log-disabled rows of BENCH_serve.json compare.
+	"log": true, "trace": true, "explain": true,
 }
 
 func baseName(name string) string {

@@ -93,6 +93,8 @@ func run() error {
 		explain    = flag.Bool("explain", false, "print the EXPLAIN plan rendering and skip execution")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU; output identical for any value)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
+		logOut     = flag.String("log-out", "", "write structured JSONL event logs to `file` (\"-\" or \"stderr\" for stderr; empty = logging disabled)")
+		logLevel   = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 	)
 	sims := map[string]string{}
 	flag.Func("sim", "override one attribute's comparator as attr=name (repeatable; names from internal/compare registry)", func(v string) error {
@@ -163,6 +165,21 @@ func run() error {
 
 	tr := obs.New("query")
 	job.Span, job.Metrics = tr.Root(), tr.Metrics()
+	lw, err := obs.OpenLogOutput(*logOut)
+	if err != nil {
+		return err
+	}
+	var logger *obs.Logger
+	if lw != nil {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		logger = obs.NewLogger(lw, lv)
+		logger.Instrument(tr.Metrics())
+	}
+	// One trace per run: every event this run emits correlates to it.
+	runCtx := obs.ContextWithTrace(context.Background(), obs.NewTraceContext())
 
 	planSpan := job.Span.Child("plan")
 	plan, err := query.PlanJob(job)
@@ -170,6 +187,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	logger.Info(runCtx, "query.plan",
+		obs.FStr("strategy", plan.Block.Strategy.String()),
+		obs.FStr("scorer", plan.Scorer),
+		obs.FFloat("threshold", job.Threshold))
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -185,15 +206,18 @@ func run() error {
 		if _, err := io.WriteString(out, plan.Explain()); err != nil {
 			return err
 		}
-		return writeReport(*metricsOut, tr)
+		return finish(lw, tr, *metricsOut)
 	}
 
-	res, err := query.Execute(context.Background(), job, plan)
+	res, err := query.Execute(runCtx, job, plan)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "query: %s: %d candidates, %d matches at threshold %v\n",
 		plan.Block.Strategy, res.Candidates, res.Kept, job.Threshold)
+	logger.Info(runCtx, "query.done",
+		obs.FInt("candidates", int64(res.Candidates)),
+		obs.FInt("matches", int64(res.Kept)))
 
 	if *format == "csv" {
 		if err := writeCSV(out, res); err != nil {
@@ -202,7 +226,21 @@ func run() error {
 	} else if err := writeJSON(out, plan, res, job.Threshold); err != nil {
 		return err
 	}
-	return writeReport(*metricsOut, tr)
+	return finish(lw, tr, *metricsOut)
+}
+
+// finish flushes the structured log (spanned so run reports account
+// for it) and writes the run report.
+func finish(lw io.Closer, tr *obs.Tracer, metricsOut string) error {
+	if lw != nil {
+		lsp := tr.Root().Child("log:flush")
+		err := lw.Close()
+		lsp.End()
+		if err != nil {
+			return fmt.Errorf("log close: %w", err)
+		}
+	}
+	return writeReport(metricsOut, tr)
 }
 
 // lookupBuiltin resolves a dataset key case-insensitively.

@@ -6,7 +6,8 @@
 //
 //	serve -model model.json [-addr :8080] [-timeout 10s] \
 //	      [-max-in-flight 0] [-max-queue 64] [-max-batch 10000] \
-//	      [-workers 0] [-metrics-out report.json]
+//	      [-workers 0] [-metrics-out report.json] \
+//	      [-log-out serve.jsonl] [-log-level info]
 //
 // Endpoints (see internal/serve):
 //
@@ -16,8 +17,20 @@
 //	POST /v1/resolve       {"id": ..., "attrs": {...}} (with -stream)
 //	GET  /v1/models        loaded model metadata
 //	POST /v1/models/reload hot-swap the artifact from disk
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness + runtime/stream gauges
 //	GET  /metrics          transer.serve.metrics/v1 JSON snapshot
+//	GET  /metrics?format=prom  Prometheus text exposition (0.0.4)
+//	GET  /debug/traces     tail-based trace capture (recent/errors/slowest)
+//
+// Every scored request carries a W3C traceparent: an incoming header
+// continues the client's trace, otherwise a fresh one is minted; the
+// response echoes it. -log-out enables trace-correlated JSONL event
+// logging (one "serve.request" event per scored request, one
+// "stream.ingest" decision event per admitted record); with logging
+// off the instrumented paths cost zero allocations. Appending
+// ?explain=1 to /v1/resolve or /v1/query returns decision provenance:
+// candidate comparison vectors, the model's SHA-256 fingerprint, and
+// the winning entity's journaled merge path.
 //
 // -stream enables the live entity store (internal/stream): ingested
 // records resolve against everything already stored, with stable
@@ -70,6 +83,8 @@ func run() error {
 		workers     = flag.Int("workers", 0, "batch scoring worker pool (0 = one per CPU; responses identical for any value)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file` on shutdown")
+		logOut      = flag.String("log-out", "", "write structured JSONL event logs to `file` (\"-\" or \"stderr\" for stderr; empty = logging disabled)")
+		logLevel    = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 		streamOn    = flag.Bool("stream", false, "enable the live entity store and the /v1/ingest + /v1/resolve endpoints")
 		streamWAL   = flag.String("stream-wal", "", "write-ahead log `file` for the entity store (replayed on start, torn tail truncated; implies -stream)")
 		streamSnap  = flag.String("stream-snapshot", "", "snapshot `file` for the entity store (loaded on start if present, written on shutdown; implies -stream)")
@@ -90,11 +105,25 @@ func run() error {
 		queue = -1
 	}
 	tr := obs.New("serve")
+	lw, err := obs.OpenLogOutput(*logOut)
+	if err != nil {
+		return err
+	}
+	var logger *obs.Logger
+	if lw != nil {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		logger = obs.NewLogger(lw, lv)
+		logger.Instrument(tr.Metrics())
+	}
 	var store *stream.Store
 	if *streamOn || *streamWAL != "" || *streamSnap != "" {
 		cfg := stream.FromMatcher(reg.Matcher())
 		cfg.Workers = *workers
 		cfg.Metrics = tr.Metrics()
+		cfg.Logger = logger
 		store, err = stream.Recover(cfg, *streamSnap, *streamWAL)
 		if err != nil {
 			return fmt.Errorf("stream store recovery: %w", err)
@@ -111,6 +140,7 @@ func run() error {
 		Workers:       *workers,
 		MaxBatchPairs: *maxBatch,
 		Tracer:        tr,
+		Logger:        logger,
 		Stream:        store,
 	})
 	if err != nil {
@@ -159,6 +189,17 @@ func run() error {
 		}
 		if err := store.CloseWAL(); err != nil {
 			return fmt.Errorf("stream wal close: %w", err)
+		}
+	}
+
+	if lw != nil {
+		// The flush is spanned so run reports account for log shutdown
+		// cost (benchreport's "log" phase).
+		lsp := tr.Root().Child("log:flush")
+		err := lw.Close()
+		lsp.End()
+		if err != nil {
+			return fmt.Errorf("log close: %w", err)
 		}
 	}
 

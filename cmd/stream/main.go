@@ -109,6 +109,8 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "rng seed for -selfcheck shuffles")
 		outPath    = flag.String("out", "", "write the JSON summary to `file` (default stdout)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
+		logOut     = flag.String("log-out", "", "write structured JSONL event logs to `file` (\"-\" or \"stderr\" for stderr; empty = logging disabled)")
+		logLevel   = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -173,6 +175,18 @@ func run() error {
 
 	tr := obs.New("stream")
 	cfg.Metrics = tr.Metrics()
+	lw, err := obs.OpenLogOutput(*logOut)
+	if err != nil {
+		return err
+	}
+	if lw != nil {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		cfg.Logger = obs.NewLogger(lw, lv)
+		cfg.Logger.Instrument(tr.Metrics())
+	}
 
 	st, err := stream.Recover(cfg, *snapPath, *walPath)
 	if err != nil {
@@ -278,6 +292,14 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "stream: %d records -> %d entities (%d merges) at threshold %v\n",
 		doc.Records, doc.Entities, doc.Merges, doc.Threshold)
 
+	if lw != nil {
+		lsp := tr.Root().Child("log:flush")
+		err := lw.Close()
+		lsp.End()
+		if err != nil {
+			return fmt.Errorf("log close: %w", err)
+		}
+	}
 	if *metricsOut != "" {
 		report := obs.BuildReport("stream", os.Args[1:], tr)
 		if err := report.WriteFile(*metricsOut); err != nil {

@@ -33,6 +33,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +72,8 @@ func run() error {
 		selMode    = flag.String("sel-mode", "", "SEL engine: exact|dedup|reference|approx (default exact; all but approx select identically)")
 		modelOut   = flag.String("model-out", "", "export the trained classifier as a transer.model/v1 artifact to `file`")
 		metricsOut = flag.String("metrics-out", "", "write a JSON run report (spans + metrics) to `file`")
+		logOut     = flag.String("log-out", "", "write structured JSONL event logs to `file` (\"-\" or \"stderr\" for stderr; empty = logging disabled)")
+		logLevel   = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to `file`")
@@ -96,6 +99,21 @@ func run() error {
 	tr := obs.New("transer")
 	parallel.RegisterMetrics(tr.Metrics())
 	defer parallel.RegisterMetrics(nil)
+	lw, err := obs.OpenLogOutput(*logOut)
+	if err != nil {
+		return err
+	}
+	var logger *obs.Logger
+	if lw != nil {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		logger = obs.NewLogger(lw, lv)
+		logger.Instrument(tr.Metrics())
+	}
+	// One trace per training run, correlating its phase events.
+	runCtx := obs.ContextWithTrace(context.Background(), obs.NewTraceContext())
 
 	load := func(path, name string) (*transer.Database, error) {
 		return dataset.ReadCSVFile(path, name)
@@ -144,6 +162,11 @@ func run() error {
 	st := res.Stats
 	fmt.Fprintf(os.Stderr, "SEL kept %d/%d, GEN confident %d, TCL trained %d\n",
 		st.Selected, st.SourceInstances, st.HighConfidence, st.BalancedTrain)
+	logger.Info(runCtx, "transer.transfer",
+		obs.FInt("sel_kept", int64(st.Selected)),
+		obs.FInt("source_instances", int64(st.SourceInstances)),
+		obs.FInt("gen_confident", int64(st.HighConfidence)),
+		obs.FInt("tcl_trained", int64(st.BalancedTrain)))
 	if target.Labelled() {
 		m := res.Evaluate(target)
 		fmt.Fprintf(os.Stderr, "evaluation: P=%.2f R=%.2f F*=%.2f F1=%.2f\n",
@@ -173,6 +196,14 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "model: wrote %s\n", *modelOut)
 	}
 
+	if lw != nil {
+		lsp := tr.Root().Child("log:flush")
+		err := lw.Close()
+		lsp.End()
+		if err != nil {
+			return fmt.Errorf("log close: %w", err)
+		}
+	}
 	if *metricsOut != "" {
 		parallel.PublishStats(tr.Metrics())
 		report := obs.BuildReport("transer", os.Args[1:], tr)

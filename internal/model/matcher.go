@@ -18,12 +18,17 @@ type Matcher struct {
 	Scheme     compare.Scheme
 	Classifier ml.ParamClassifier
 
-	attrIndex map[string]int
+	attrIndex   map[string]int
+	fingerprint string
 }
 
 // NewMatcher assembles the runtime form of an artifact.
 func NewMatcher(a *Artifact) (*Matcher, error) {
 	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	fp, err := a.Fingerprint()
+	if err != nil {
 		return nil, err
 	}
 	schema, err := a.RecordSchema()
@@ -42,8 +47,12 @@ func NewMatcher(a *Artifact) (*Matcher, error) {
 	for i, attr := range schema.Attributes {
 		idx[attr.Name] = i
 	}
-	return &Matcher{Artifact: a, Schema: schema, Scheme: scheme, Classifier: clf, attrIndex: idx}, nil
+	return &Matcher{Artifact: a, Schema: schema, Scheme: scheme, Classifier: clf, attrIndex: idx, fingerprint: fp}, nil
 }
+
+// Fingerprint returns the artifact's SHA-256 identity, computed once
+// at assembly time (see Artifact.Fingerprint).
+func (m *Matcher) Fingerprint() string { return m.fingerprint }
 
 // LoadMatcher reads an artifact from disk and assembles its matcher.
 func LoadMatcher(path string) (*Matcher, error) {

@@ -14,6 +14,8 @@
 package model
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -305,6 +307,24 @@ func (a *Artifact) Encode() ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// Fingerprint returns the hex SHA-256 digest of the canonically
+// encoded artifact — the identity that provenance responses and
+// decision logs cite, so a logged match decision can be tied to the
+// exact parameters that produced it. The creation timestamp is
+// metadata, not model content, and is excluded: two artifacts with
+// identical parameters, schema, scheme, training configuration and
+// provenance fingerprint equal regardless of when they were stamped.
+func (a *Artifact) Fingerprint() (string, error) {
+	c := *a
+	c.CreatedAt = time.Time{}
+	b, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Decode parses and validates a serialised artifact.

@@ -2,9 +2,11 @@ package model_test
 
 import (
 	"bytes"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"transer/internal/compare"
 	"transer/internal/dataset"
@@ -289,5 +291,72 @@ func TestClassifierTypesSorted(t *testing.T) {
 		if types[i-1] >= types[i] {
 			t.Errorf("ClassifierTypes not sorted: %v", types)
 		}
+	}
+}
+
+// TestArtifactFingerprint pins the fingerprint contract: a content
+// identity — stable across calls and creation re-stamps, sensitive to
+// any parameter change, and cached verbatim on the matcher.
+func TestArtifactFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _ := testkit.DatabasePair(rng, 8)
+	scheme := compare.DefaultScheme(a.Schema)
+	width := len(scheme.Pair(a.Records[0], a.Records[0]))
+	clf := &ml.Constant{}
+	if err := clf.Fit([][]float64{make([]float64, width)}, []int{1}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	art, err := model.New("fp-test", clf, a.Schema, scheme)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	fp1, err := art.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp1) != 64 || strings.Trim(fp1, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not 64 hex chars", fp1)
+	}
+	fp2, err := art.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp1 {
+		t.Fatalf("fingerprint unstable: %s then %s", fp1, fp2)
+	}
+
+	// The creation timestamp is metadata, not content: a re-stamped
+	// artifact with identical parameters fingerprints equal.
+	other, err := model.New("fp-test", clf, a.Schema, scheme)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	other.CreatedAt = art.CreatedAt.Add(time.Hour)
+	ofp, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ofp != fp1 {
+		t.Fatalf("re-stamped artifact fingerprints %s, want %s", ofp, fp1)
+	}
+
+	// Any content change moves the digest.
+	other.Threshold = 0.9
+	changed, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == fp1 {
+		t.Fatal("threshold change did not move the fingerprint")
+	}
+
+	// The matcher caches the same identity at construction.
+	m, err := model.NewMatcher(art)
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	if m.Fingerprint() != fp1 {
+		t.Fatalf("matcher fingerprint %s, artifact %s", m.Fingerprint(), fp1)
 	}
 }

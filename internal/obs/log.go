@@ -1,0 +1,292 @@
+package obs
+
+// Structured JSONL event logging. One call emits one self-contained
+// JSON line: timestamp, level, event name, the trace/span IDs carried
+// by the context (when present), then the caller's typed fields in
+// order. Lines are written with a single Write under a mutex, so
+// concurrent events never interleave.
+//
+// Like the nil *Tracer, a nil *Logger (and any level-filtered call) is
+// a zero-allocation no-op: fields are typed Attr values built without
+// boxing, and the variadic slice never escapes the disabled fast path,
+// so instrumented hot paths cost nothing when logging is off.
+// BenchmarkLoggerOverhead guards that contract the way
+// BenchmarkTracerOverhead guards the tracer's.
+//
+// Logging observes; it never participates. Every deterministic output
+// (goldens, streamdiff partitions, serve decisions) is byte-identical
+// with logging enabled or disabled.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Level orders event severities.
+type Level int8
+
+// Levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lower-case name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel parses a level name (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Field constructors: typed Attr values for log events (no boxing, so
+// disabled call sites stay allocation-free).
+
+// FInt is an integer log field.
+func FInt(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, Int: v} }
+
+// FFloat is a float log field.
+func FFloat(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, Float: v} }
+
+// FStr is a string log field.
+func FStr(key, v string) Attr { return Attr{Key: key, Kind: KindStr, Str: v} }
+
+// FBool is a boolean log field.
+func FBool(key string, v bool) Attr { return Attr{Key: key, Kind: KindBool, Bool: v} }
+
+// Logger writes leveled JSONL events. All methods are no-ops on a nil
+// receiver; construct with NewLogger.
+type Logger struct {
+	level Level
+
+	mu sync.Mutex
+	w  io.Writer
+
+	// Optional self-instrumentation (see Instrument).
+	events *Counter
+	bytes  *Counter
+}
+
+// NewLogger returns a logger emitting events at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{level: level, w: w}
+}
+
+// Instrument mirrors the logger's own activity into reg as
+// log.events_total and log.bytes_total.
+func (l *Logger) Instrument(reg *Registry) {
+	if l == nil {
+		return
+	}
+	l.events = reg.Counter("log.events_total")
+	l.bytes = reg.Counter("log.bytes_total")
+}
+
+// Enabled reports whether events at lv would be written (false for a
+// nil logger).
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.level
+}
+
+// Debug emits a debug event.
+func (l *Logger) Debug(ctx context.Context, event string, fields ...Attr) {
+	if l == nil || LevelDebug < l.level {
+		return
+	}
+	l.emit(ctx, LevelDebug, event, fields)
+}
+
+// Info emits an info event.
+func (l *Logger) Info(ctx context.Context, event string, fields ...Attr) {
+	if l == nil || LevelInfo < l.level {
+		return
+	}
+	l.emit(ctx, LevelInfo, event, fields)
+}
+
+// Warn emits a warning event.
+func (l *Logger) Warn(ctx context.Context, event string, fields ...Attr) {
+	if l == nil || LevelWarn < l.level {
+		return
+	}
+	l.emit(ctx, LevelWarn, event, fields)
+}
+
+// Error emits an error event.
+func (l *Logger) Error(ctx context.Context, event string, fields ...Attr) {
+	if l == nil || LevelError < l.level {
+		return
+	}
+	l.emit(ctx, LevelError, event, fields)
+}
+
+// Log emits an event at an explicit level.
+func (l *Logger) Log(ctx context.Context, lv Level, event string, fields ...Attr) {
+	if l == nil || lv < l.level {
+		return
+	}
+	l.emit(ctx, lv, event, fields)
+}
+
+var logBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// emit assembles one JSON line in a pooled buffer and writes it
+// atomically. fields is only iterated, never retained, so call-site
+// variadic slices stay on the caller's stack.
+func (l *Logger) emit(ctx context.Context, lv Level, event string, fields []Attr) {
+	bp := logBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+
+	b = append(b, `{"ts":"`...)
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","level":"`...)
+	b = append(b, lv.String()...)
+	b = append(b, `","event":`...)
+	b = appendJSONString(b, event)
+	if ctx != nil {
+		if tc, ok := TraceFromContext(ctx); ok && tc.Valid() {
+			b = append(b, `,"trace_id":"`...)
+			b = appendHex(b, tc.TraceID[:])
+			b = append(b, `","span_id":"`...)
+			b = appendHex(b, tc.SpanID[:])
+			b = append(b, '"')
+		}
+	}
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		switch f.Kind {
+		case KindInt:
+			b = strconv.AppendInt(b, f.Int, 10)
+		case KindFloat:
+			b = appendJSONFloat(b, f.Float)
+		case KindBool:
+			b = strconv.AppendBool(b, f.Bool)
+		default:
+			b = appendJSONString(b, f.Str)
+		}
+	}
+	b = append(b, '}', '\n')
+
+	l.mu.Lock()
+	_, err := l.w.Write(b)
+	l.mu.Unlock()
+	if err == nil {
+		l.events.Add(1)
+		l.bytes.Add(int64(len(b)))
+	}
+
+	*bp = b[:0]
+	logBufPool.Put(bp)
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(b, raw []byte) []byte {
+	for _, c := range raw {
+		b = append(b, hexDigits[c>>4], hexDigits[c&0xf])
+	}
+	return b
+}
+
+// appendJSONFloat renders a float as a JSON number; non-finite values
+// (not representable in JSON) become strings.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if v != v || v > 1.797693134862315708e308 || v < -1.797693134862315708e308 {
+		b = append(b, '"')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		return append(b, '"')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes, control characters and invalid UTF-8.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				b = append(b, '\\', '"')
+			case c == '\\':
+				b = append(b, '\\', '\\')
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			case c < 0x20:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				b = append(b, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+// OpenLogOutput resolves a -log-out flag value: "" disables (nil
+// writer), "-" or "stderr" log to standard error (Close is a no-op),
+// anything else creates/truncates that file.
+func OpenLogOutput(path string) (io.WriteCloser, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-", "stderr":
+		return nopCloser{os.Stderr}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }

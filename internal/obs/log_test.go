@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// logLines unmarshals each JSONL line, failing on malformed output.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerEmitsStructuredLines(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelDebug)
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+
+	lg.Info(ctx, "serve.request",
+		FStr("route", "resolve"),
+		FInt("status", 200),
+		FFloat("dur_ms", 1.25),
+		FBool("matched", true))
+	lg.Debug(context.Background(), "plain")
+
+	lines := logLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	got := lines[0]
+	if got["level"] != "info" || got["event"] != "serve.request" {
+		t.Fatalf("header fields: %v", got)
+	}
+	if got["trace_id"] != tc.TraceID.String() || got["span_id"] != tc.SpanID.String() {
+		t.Fatalf("trace correlation: %v, want trace %s span %s", got, tc.TraceID, tc.SpanID)
+	}
+	if got["route"] != "resolve" || got["status"] != float64(200) ||
+		got["dur_ms"] != 1.25 || got["matched"] != true {
+		t.Fatalf("typed fields: %v", got)
+	}
+	if _, hasTS := got["ts"]; !hasTS {
+		t.Fatalf("no timestamp: %v", got)
+	}
+	if _, hasTrace := lines[1]["trace_id"]; hasTrace {
+		t.Fatalf("traceless context produced a trace id: %v", lines[1])
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelWarn)
+	ctx := context.Background()
+	lg.Debug(ctx, "d")
+	lg.Info(ctx, "i")
+	lg.Warn(ctx, "w")
+	lg.Error(ctx, "e")
+	lines := logLines(t, &buf)
+	if len(lines) != 2 || lines[0]["event"] != "w" || lines[1]["event"] != "e" {
+		t.Fatalf("level filter: %v", lines)
+	}
+	if lg.Enabled(LevelInfo) || !lg.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with the filter")
+	}
+	var nilLogger *Logger
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestLoggerEscapesHostileStrings(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelDebug)
+	hostile := "quote\" backslash\\ newline\n tab\t ctrl\x01 unicodeé bad\xff"
+	lg.Info(context.Background(), hostile, FStr("k\"ey", hostile))
+	lines := logLines(t, &buf)
+	got := lines[0]["event"].(string)
+	// Invalid UTF-8 is replaced, everything else round-trips.
+	want := strings.Replace(hostile, "\xff", "�", 1)
+	if got != want {
+		t.Fatalf("event round trip: %q, want %q", got, want)
+	}
+	if lines[0]["k\"ey"] != want {
+		t.Fatalf("field round trip: %v", lines[0])
+	}
+}
+
+func TestLoggerNonFiniteFloats(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelDebug)
+	nan := 0.0
+	lg.Info(context.Background(), "f", FFloat("nan", nan/nan), FFloat("ok", 0.5))
+	lines := logLines(t, &buf) // would fail on invalid JSON
+	if lines[0]["nan"] != "NaN" || lines[0]["ok"] != 0.5 {
+		t.Fatalf("non-finite rendering: %v", lines[0])
+	}
+}
+
+func TestLoggerConcurrentLinesNeverInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lg.Info(context.Background(), "evt", FInt("g", int64(g)), FInt("i", int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if lines := logLines(t, &buf); len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+}
+
+func TestLoggerInstrument(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelInfo)
+	reg := NewRegistry()
+	lg.Instrument(reg)
+	lg.Info(context.Background(), "a")
+	lg.Debug(context.Background(), "filtered")
+	snap := reg.Snapshot()
+	if snap.Counters["log.events_total"] != 1 {
+		t.Fatalf("events_total = %d", snap.Counters["log.events_total"])
+	}
+	if snap.Counters["log.bytes_total"] != int64(buf.Len()) {
+		t.Fatalf("bytes_total = %d, wrote %d", snap.Counters["log.bytes_total"], buf.Len())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+// TestNilLoggerAllocates pins the disabled-logger contract outside the
+// benchmark: the nil fast path must not allocate, including the
+// variadic field slice at the call site.
+func TestNilLoggerAllocates(t *testing.T) {
+	var lg *Logger
+	ctx := ContextWithTrace(context.Background(), NewTraceContext())
+	if allocs := testing.AllocsPerRun(200, func() {
+		lg.Info(ctx, "event", FStr("k", "v"), FInt("n", 1), FFloat("f", 0.5))
+		lg.Error(ctx, "err", FBool("b", true))
+	}); allocs != 0 {
+		t.Fatalf("nil logger allocates %.1f/op, want 0", allocs)
+	}
+	// A level-filtered call on an enabled logger is equally free.
+	real := NewLogger(&bytes.Buffer{}, LevelError)
+	if allocs := testing.AllocsPerRun(200, func() {
+		real.Debug(ctx, "event", FStr("k", "v"), FInt("n", 1))
+	}); allocs != 0 {
+		t.Fatalf("filtered level allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkLoggerOverhead is the CI acceptance gate mirroring
+// BenchmarkTracerOverhead: the "disabled" case must report 0 allocs/op
+// and re-checks the contract with AllocsPerRun.
+func BenchmarkLoggerOverhead(b *testing.B) {
+	ctx := ContextWithTrace(context.Background(), NewTraceContext())
+	run := func(b *testing.B, lg *Logger) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lg.Info(ctx, "serve.request",
+				FStr("route", "resolve"),
+				FInt("status", 200),
+				FFloat("dur_ms", 0.42))
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, nil)
+		if b.N > 100 {
+			var lg *Logger
+			if allocs := testing.AllocsPerRun(100, func() {
+				lg.Info(ctx, "serve.request", FStr("route", "resolve"), FInt("status", 200))
+			}); allocs != 0 {
+				b.Fatalf("nil-logger path allocates %.1f/op, want 0", allocs)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var sink bytes.Buffer
+		lg := NewLogger(&sink, LevelDebug)
+		run(b, lg)
+	})
+}

@@ -24,6 +24,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -114,6 +115,27 @@ type Span struct {
 
 func newSpan(name string) *Span {
 	return &Span{name: name, start: time.Now()}
+}
+
+// NewDetachedSpan starts a span outside any tracer's tree. Long-running
+// servers use detached spans for requests beyond their report-tree
+// sampling budget: the span (and its children) can still be serialised
+// into the tail-based trace capture, but nothing retains it afterwards,
+// so the process working set stays bounded.
+func NewDetachedSpan(name string) *Span { return newSpan(name) }
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil —
+// and a nil span is a no-op, so callers chain Child/Set* unguarded.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
 }
 
 // Child starts a new child span. It returns nil when s is nil, so

@@ -1,0 +1,116 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) over a registry
+// Snapshot, so GET /metrics?format=prom is scrape-parseable by a stock
+// Prometheus server without any client library dependency.
+//
+// Metric names translate from the registry's dotted convention to
+// Prometheus idiom: "serve.request_seconds" becomes
+// "transer_serve_request_seconds". Histograms render cumulative
+// buckets with a closing le="+Inf", then _sum and _count, exactly as
+// the exposition format requires.
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromNamespace prefixes every exported metric name.
+const PromNamespace = "transer"
+
+// PromName translates a registry metric name to a valid Prometheus
+// metric name: namespace prefix, dots to underscores, any other
+// invalid character to underscore.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(PromNamespace) + 1 + len(name))
+	b.WriteString(PromNamespace)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders snap in the Prometheus text exposition
+// format, deterministically ordered (counters, gauges, histograms,
+// each sorted by name).
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	var b []byte
+
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := PromName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " counter\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, snap.Counters[name], 10)
+		b = append(b, '\n')
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := PromName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " gauge\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = appendPromFloat(b, snap.Gauges[name])
+		b = append(b, '\n')
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := PromName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " histogram\n"...)
+		var cum int64
+		for _, bkt := range h.Buckets {
+			cum += bkt.Count
+			b = append(b, pn...)
+			b = append(b, `_bucket{le="`...)
+			b = appendPromFloat(b, bkt.UpperBound)
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, pn...)
+		b = append(b, `_bucket{le="+Inf"} `...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_sum "...)
+		b = appendPromFloat(b, h.Sum)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+
+	_, err := w.Write(b)
+	return err
+}
+
+func appendPromFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

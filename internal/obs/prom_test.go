@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name  string
+	le    string // bucket label, "" otherwise
+	value float64
+}
+
+var (
+	promNameRE   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (\S+)$`)
+)
+
+// parseProm is a strict reader of the text exposition format subset we
+// emit: TYPE comments followed by samples, names valid, every sample
+// parseable — the shape a Prometheus scraper requires.
+func parseProm(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if !promNameRE.MatchString(parts[2]) {
+				t.Fatalf("invalid metric name %q", parts[2])
+			}
+			if parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram" {
+				t.Fatalf("unknown type in %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples = append(samples, promSample{name: m[1], le: m[3], value: v})
+	}
+	return types, samples
+}
+
+func TestWritePrometheusScrapeParseable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests_total").Add(12)
+	reg.Counter("stream.ingested_total").Add(3)
+	reg.Gauge("serve.in_flight").Set(2)
+	reg.Gauge("runtime.heap_alloc_bytes").Set(1.5e6)
+	h := reg.Histogram("serve.request_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 0.5, 0.7} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, buf.String())
+
+	if types["transer_serve_requests_total"] != "counter" {
+		t.Fatalf("types: %v", types)
+	}
+	if types["transer_serve_in_flight"] != "gauge" {
+		t.Fatalf("types: %v", types)
+	}
+	if types["transer_serve_request_seconds"] != "histogram" {
+		t.Fatalf("types: %v", types)
+	}
+
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	if v := byName["transer_serve_requests_total"][0].value; v != 12 {
+		t.Fatalf("counter value %v", v)
+	}
+
+	// Histogram: buckets cumulative and monotone, closed by +Inf equal
+	// to _count, _sum matches.
+	buckets := byName["transer_serve_request_seconds_bucket"]
+	if len(buckets) != 4 {
+		t.Fatalf("buckets: %+v", buckets)
+	}
+	var prev float64 = -1
+	for _, b := range buckets {
+		if b.value < prev {
+			t.Fatalf("bucket counts not cumulative: %+v", buckets)
+		}
+		prev = b.value
+	}
+	if last := buckets[len(buckets)-1]; last.le != "+Inf" || last.value != 5 {
+		t.Fatalf("+Inf bucket: %+v", last)
+	}
+	wantCum := []float64{1, 2, 3, 5} // 0.0005 | 0.002 | 0.05 | 0.5,0.7
+	for i, b := range buckets {
+		if b.value != wantCum[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, b.value, wantCum[i])
+		}
+	}
+	if c := byName["transer_serve_request_seconds_count"][0].value; c != 5 {
+		t.Fatalf("_count %v", c)
+	}
+	sum := byName["transer_serve_request_seconds_sum"][0].value
+	if diff := sum - (0.0005 + 0.002 + 0.05 + 0.5 + 0.7); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("_sum %v", sum)
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	mk := func() string {
+		reg := NewRegistry()
+		for i := 0; i < 20; i++ {
+			reg.Counter(fmt.Sprintf("c.%02d_total", i)).Add(int64(i))
+			reg.Gauge(fmt.Sprintf("g.%02d", i)).Set(float64(i))
+		}
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatal("two identical registries rendered differently")
+	}
+	// Names within each section are sorted.
+	_, samples := parseProm(t, a)
+	var counters []string
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_total") {
+			counters = append(counters, s.name)
+		}
+	}
+	if !sort.StringsAreSorted(counters) {
+		t.Fatalf("counters unsorted: %v", counters)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.request_seconds": "transer_serve_request_seconds",
+		"stream.wal_seq":        "transer_stream_wal_seq",
+		"weird-name@2":          "transer_weird_name_2",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRE.MatchString(PromName(in)) {
+			t.Errorf("PromName(%q) invalid", in)
+		}
+	}
+}

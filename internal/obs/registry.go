@@ -161,6 +161,16 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+
+	ex atomic.Pointer[Exemplar]
+}
+
+// Exemplar pins one concrete observation — and the trace that produced
+// it — to a histogram, so a latency spike seen in /metrics can be
+// followed straight to its request in /debug/traces.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // NewHistogram returns a histogram over the given sorted upper bounds.
@@ -186,6 +196,19 @@ func (h *Histogram) Observe(v float64) {
 	addFloat(&h.sumBits, v)
 	casFloat(&h.minBits, v, func(cur float64) bool { return v < cur })
 	casFloat(&h.maxBits, v, func(cur float64) bool { return v > cur })
+}
+
+// ObserveEx records one value and, when traceID is non-empty, replaces
+// the histogram's exemplar with this observation (no-op on nil). Last
+// write wins: the exemplar is a sample, not a maximum.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{Value: v, TraceID: traceID})
+	}
 }
 
 // addFloat atomically adds v to a float64 stored as bits.
@@ -231,6 +254,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Min = math.Float64frombits(h.minBits.Load())
 		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
+	if ex := h.ex.Load(); ex != nil {
+		cp := *ex
+		s.Exemplar = &cp
+	}
 	return s
 }
 
@@ -246,12 +273,13 @@ type Bucket struct {
 // above the last bound (kept separate so the JSON encoding never needs
 // a +Inf bound).
 type HistogramSnapshot struct {
-	Count    int64    `json:"count"`
-	Sum      float64  `json:"sum"`
-	Min      float64  `json:"min"`
-	Max      float64  `json:"max"`
-	Buckets  []Bucket `json:"buckets,omitempty"`
-	Overflow int64    `json:"overflow"`
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+	Buckets  []Bucket  `json:"buckets,omitempty"`
+	Overflow int64     `json:"overflow"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Mean returns Sum/Count (0 when empty).

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeSamplerPopulatesGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	runtime.GC() // guarantee at least one completed cycle to observe
+	stats := s.Sample()
+	if stats.Goroutines <= 0 || stats.HeapAllocBytes == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["runtime.goroutines"] <= 0 {
+		t.Fatalf("goroutines gauge: %v", snap.Gauges)
+	}
+	if snap.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatalf("heap gauge: %v", snap.Gauges)
+	}
+	if snap.Gauges["runtime.gc_runs_total"] < 1 {
+		t.Fatalf("gc runs gauge: %v", snap.Gauges)
+	}
+	if snap.Histograms["runtime.gc_pause_seconds"].Count < 1 {
+		t.Fatalf("gc pause histogram empty: %+v", snap.Histograms["runtime.gc_pause_seconds"])
+	}
+}
+
+func TestRuntimeSamplerObservesOnlyFreshPauses(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	runtime.GC()
+	s.Sample()
+	n1 := reg.Snapshot().Histograms["runtime.gc_pause_seconds"].Count
+	// No GC between samples: the histogram must not re-observe old
+	// pauses.
+	s.Sample()
+	n2 := reg.Snapshot().Histograms["runtime.gc_pause_seconds"].Count
+	if n2 != n1 {
+		t.Fatalf("re-observed pauses: %d then %d", n1, n2)
+	}
+	runtime.GC()
+	s.Sample()
+	if n3 := reg.Snapshot().Histograms["runtime.gc_pause_seconds"].Count; n3 <= n2 {
+		t.Fatalf("fresh GC cycle not observed: %d then %d", n2, n3)
+	}
+}
+
+func TestRuntimeSamplerNilSafe(t *testing.T) {
+	var s *RuntimeSampler
+	if stats := s.Sample(); stats.Goroutines != 0 {
+		t.Fatalf("nil sampler: %+v", stats)
+	}
+	if NewRuntimeSampler(nil) != nil {
+		t.Fatal("sampler over a nil registry")
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+// Tail-based trace capture. The original serve instrumentation
+// recorded spans for the FIRST SpanSample requests and then went
+// blind — exactly the wrong bias for production debugging, where the
+// interesting traces (errors, latency outliers) arrive after warm-up.
+// TraceCapture replaces that with three fixed-size retention classes
+// that keep recording forever:
+//
+//   - recent:  a ring of the last N completed requests (overwrites),
+//   - errors:  a ring of the last N failed requests (overwrites),
+//   - slowest: the N slowest requests seen so far (min-replacement).
+//
+// Memory is bounded by 3N captured traces regardless of uptime, and
+// the capture is purely passive: no background goroutine, no timers —
+// Record is called inline when a request completes and Snapshot copies
+// under the mutex.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// CapturedTrace is one retained request trace.
+type CapturedTrace struct {
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status"`
+	Start   time.Time `json:"start"`
+	DurMS   float64   `json:"dur_ms"`
+	Error   bool      `json:"error"`
+	// Span is the request's serialised span tree when one was recorded
+	// (requests can be captured without spans — metadata still retained).
+	Span *SpanNode `json:"span,omitempty"`
+}
+
+// TraceCapture retains completed request traces with tail-based
+// policies. All methods are no-ops on a nil receiver.
+type TraceCapture struct {
+	mu       sync.Mutex
+	recorded int64
+
+	recent     []CapturedTrace // ring, capacity n
+	recentNext int
+
+	errors     []CapturedTrace // ring, capacity n
+	errorsNext int
+
+	slow    []CapturedTrace // up to n, unordered; slowMin indexes the fastest
+	slowMin int
+	n       int
+}
+
+// NewTraceCapture returns a capture retaining up to n traces per class
+// (n <= 0 resolves to 64).
+func NewTraceCapture(n int) *TraceCapture {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceCapture{n: n}
+}
+
+// Record retains one completed request trace under every class whose
+// policy it meets. Safe for concurrent use.
+func (c *TraceCapture) Record(t CapturedTrace) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recorded++
+
+	c.recent, c.recentNext = ringPut(c.recent, c.recentNext, c.n, t)
+	if t.Error {
+		c.errors, c.errorsNext = ringPut(c.errors, c.errorsNext, c.n, t)
+	}
+	if len(c.slow) < c.n {
+		c.slow = append(c.slow, t)
+		if t.DurMS < c.slow[c.slowMin].DurMS {
+			c.slowMin = len(c.slow) - 1
+		}
+	} else if t.DurMS > c.slow[c.slowMin].DurMS {
+		c.slow[c.slowMin] = t
+		c.slowMin = 0
+		for i, s := range c.slow {
+			if s.DurMS < c.slow[c.slowMin].DurMS {
+				c.slowMin = i
+			}
+		}
+	}
+}
+
+func ringPut(ring []CapturedTrace, next, n int, t CapturedTrace) ([]CapturedTrace, int) {
+	if len(ring) < n {
+		return append(ring, t), 0
+	}
+	// Full: next points at the oldest slot.
+	ring[next] = t
+	return ring, (next + 1) % n
+}
+
+// Recorded returns how many traces have been offered (0 for nil).
+func (c *TraceCapture) Recorded() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recorded
+}
+
+// CaptureSnapshot is a point-in-time copy of the retained traces: the
+// GET /debug/traces document body.
+type CaptureSnapshot struct {
+	// Recorded counts every trace ever offered, retained or not.
+	Recorded int64 `json:"recorded"`
+	// Recent holds the last completed requests, oldest first.
+	Recent []CapturedTrace `json:"recent"`
+	// Errors holds the last failed requests, oldest first.
+	Errors []CapturedTrace `json:"errors,omitempty"`
+	// Slowest holds the slowest requests seen, slowest first.
+	Slowest []CapturedTrace `json:"slowest,omitempty"`
+}
+
+// Snapshot copies the retained traces (empty snapshot for nil).
+func (c *TraceCapture) Snapshot() CaptureSnapshot {
+	if c == nil {
+		return CaptureSnapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := CaptureSnapshot{
+		Recorded: c.recorded,
+		Recent:   ringOrdered(c.recent, c.recentNext),
+		Errors:   ringOrdered(c.errors, c.errorsNext),
+		Slowest:  append([]CapturedTrace(nil), c.slow...),
+	}
+	sort.SliceStable(snap.Slowest, func(i, j int) bool {
+		return snap.Slowest[i].DurMS > snap.Slowest[j].DurMS
+	})
+	return snap
+}
+
+// ringOrdered copies a ring oldest-first. next is the oldest slot once
+// the ring is full; a partially filled ring is already in order.
+func ringOrdered(ring []CapturedTrace, next int) []CapturedTrace {
+	if len(ring) == 0 {
+		return nil
+	}
+	out := make([]CapturedTrace, 0, len(ring))
+	out = append(out, ring[next:]...)
+	out = append(out, ring[:next]...)
+	return out
+}
+
+// SpanTree serialises a span and its descendants for capture (nil for
+// a nil span). It reuses the run-report node form so /debug/traces and
+// -metrics-out documents render spans identically.
+func SpanTree(s *Span) *SpanNode {
+	if s == nil {
+		return nil
+	}
+	return spanNode(s)
+}

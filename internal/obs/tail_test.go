@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ct(id int, durMS float64, isErr bool) CapturedTrace {
+	return CapturedTrace{
+		TraceID: fmt.Sprintf("trace-%04d", id),
+		Route:   "match",
+		Status:  map[bool]int{false: 200, true: 500}[isErr],
+		DurMS:   durMS,
+		Error:   isErr,
+	}
+}
+
+// TestCaptureKeepsRecordingForever is the regression test for the
+// first-N SpanSample bias: after far more traces than the capacity,
+// the newest error and the slowest request are still retained.
+func TestCaptureKeepsRecordingForever(t *testing.T) {
+	c := NewTraceCapture(8)
+	// A long steady stream of fast successes…
+	for i := 0; i < 1000; i++ {
+		c.Record(ct(i, 1.0, false))
+	}
+	// …then, long after any first-N budget is spent, an error and a
+	// latency outlier.
+	c.Record(ct(9001, 2.0, true))
+	c.Record(ct(9002, 500.0, false))
+
+	snap := c.Snapshot()
+	if snap.Recorded != 1002 {
+		t.Fatalf("recorded %d, want 1002", snap.Recorded)
+	}
+	if len(snap.Recent) != 8 || len(snap.Slowest) != 8 {
+		t.Fatalf("retention sizes: recent %d slowest %d, want 8", len(snap.Recent), len(snap.Slowest))
+	}
+	if snap.Recent[len(snap.Recent)-1].TraceID != "trace-9002" {
+		t.Fatalf("newest recent = %s", snap.Recent[len(snap.Recent)-1].TraceID)
+	}
+	if len(snap.Errors) != 1 || snap.Errors[0].TraceID != "trace-9001" {
+		t.Fatalf("errors: %+v", snap.Errors)
+	}
+	if snap.Slowest[0].TraceID != "trace-9002" || snap.Slowest[0].DurMS != 500.0 {
+		t.Fatalf("slowest[0]: %+v", snap.Slowest[0])
+	}
+}
+
+func TestCaptureSlowestIsTopNDescending(t *testing.T) {
+	c := NewTraceCapture(4)
+	for i, d := range []float64{3, 9, 1, 7, 5, 8, 2, 6, 4} {
+		c.Record(ct(i, d, false))
+	}
+	snap := c.Snapshot()
+	want := []float64{9, 8, 7, 6}
+	if len(snap.Slowest) != len(want) {
+		t.Fatalf("slowest: %+v", snap.Slowest)
+	}
+	for i, w := range want {
+		if snap.Slowest[i].DurMS != w {
+			t.Fatalf("slowest[%d] = %v, want %v (%+v)", i, snap.Slowest[i].DurMS, w, snap.Slowest)
+		}
+	}
+}
+
+func TestCaptureRecentRingOrder(t *testing.T) {
+	c := NewTraceCapture(3)
+	for i := 0; i < 5; i++ {
+		c.Record(ct(i, float64(i), false))
+	}
+	snap := c.Snapshot()
+	if len(snap.Recent) != 3 {
+		t.Fatalf("recent: %+v", snap.Recent)
+	}
+	for i, want := range []string{"trace-0002", "trace-0003", "trace-0004"} {
+		if snap.Recent[i].TraceID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, snap.Recent[i].TraceID, want)
+		}
+	}
+}
+
+func TestCaptureErrorRingSeparateFromRecent(t *testing.T) {
+	c := NewTraceCapture(2)
+	c.Record(ct(1, 1, true))
+	for i := 10; i < 20; i++ {
+		c.Record(ct(i, 1, false))
+	}
+	snap := c.Snapshot()
+	if len(snap.Errors) != 1 || snap.Errors[0].TraceID != "trace-0001" {
+		t.Fatalf("old error evicted by successes: %+v", snap.Errors)
+	}
+}
+
+func TestCaptureNilSafe(t *testing.T) {
+	var c *TraceCapture
+	c.Record(ct(1, 1, true))
+	if snap := c.Snapshot(); snap.Recorded != 0 || snap.Recent != nil {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+	if c.Recorded() != 0 {
+		t.Fatal("nil recorded")
+	}
+}
+
+// TestCaptureSpawnsNoGoroutines pins the passive design: recording and
+// snapshotting under heavy concurrent use must not leave a single
+// goroutine behind (no flusher, no timer, no janitor).
+func TestCaptureSpawnsNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := NewTraceCapture(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Record(ct(g*1000+i, float64(i%50), i%7 == 0))
+				if i%100 == 0 {
+					c.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("capture leaked goroutines: %d before, %d after", before, after)
+	}
+	if got := c.Recorded(); got != 4000 {
+		t.Fatalf("recorded %d, want 4000", got)
+	}
+}

@@ -4,8 +4,17 @@ package serve
 // results are index-addressed so responses are deterministic and
 // self-describing regardless of internal scoring order.
 
+import (
+	"transer/internal/obs"
+	"transer/internal/stream"
+)
+
 // MetricsSchemaVersion identifies the GET /metrics response document.
 const MetricsSchemaVersion = "transer.serve.metrics/v1"
+
+// TracesSchemaVersion identifies the GET /debug/traces response
+// document.
+const TracesSchemaVersion = "transer.serve.traces/v1"
 
 // RecordPayload is one record as an attribute→value map. Attribute
 // names must exist in the model's schema; absent attributes score
@@ -65,6 +74,9 @@ type ModelInfo struct {
 	Attributes []string `json:"attributes"`
 	Features   []string `json:"features"`
 	Reloads    int64    `json:"reloads"`
+	// Fingerprint is the SHA-256 identity of the serialised artifact —
+	// the value provenance responses and decision logs cite.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // ModelsResponse is the body of GET /v1/models and of a successful
@@ -77,6 +89,11 @@ type ModelsResponse struct {
 type HealthResponse struct {
 	Status string `json:"status"`
 	Model  string `json:"model"`
+	// Runtime is a point-in-time process sample (goroutines, heap, GC).
+	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
+	// Stream summarises the live entity store when streaming endpoints
+	// are enabled.
+	Stream *stream.Stats `json:"stream,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"transer/internal/dataset"
+	"transer/internal/obs"
 	"transer/internal/query"
 )
 
@@ -54,6 +55,23 @@ type QueryResponse struct {
 	// Explain echoes the request flag; true means the query was planned
 	// but not executed.
 	Explain bool `json:"explain,omitempty"`
+	// Provenance explains the executed matches when the request asked
+	// for it (?explain=1 — distinct from the body's Explain flag, which
+	// plans without executing).
+	Provenance *QueryProvenance `json:"provenance,omitempty"`
+}
+
+// QueryProvenance is the execution provenance attached to
+// POST /v1/query?explain=1: the request's trace ID, the exact model
+// identity, and each returned match's per-comparator vector.
+type QueryProvenance struct {
+	TraceID          string   `json:"trace_id,omitempty"`
+	ModelFingerprint string   `json:"model_fingerprint"`
+	Threshold        float64  `json:"threshold"`
+	Features         []string `json:"features"`
+	// Vectors holds the comparison vector of each returned match, in
+	// match order, aligned with Features.
+	Vectors [][]float64 `json:"vectors,omitempty"`
 }
 
 // payloadDatabase converts uploaded records to a schema-conformant
@@ -121,6 +139,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Limit:       req.Limit,
 		Force:       force,
 		Workers:     s.cfg.Workers,
+		// Operator spans nest under the request span, so /debug/traces
+		// shows the full plan execution for captured query requests.
+		Span:    obs.SpanFromContext(r.Context()),
+		Metrics: s.metrics,
 	}
 
 	plan, err := query.PlanJob(job)
@@ -156,6 +178,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Probability: match.Score,
 			Match:       m.Decide(match.Score),
 		}
+	}
+	if r.URL.Query().Get("explain") != "" {
+		prov := &QueryProvenance{
+			ModelFingerprint: m.Fingerprint(),
+			Threshold:        threshold,
+			Features:         scheme.FeatureNames(),
+			Vectors:          make([][]float64, len(res.Matches)),
+		}
+		if tc, ok := obs.TraceFromContext(r.Context()); ok {
+			prov.TraceID = tc.TraceID.String()
+		}
+		// Recompute each kept match's comparison vector — exactly the
+		// Pair the executed plan scored, so the explanation is the
+		// decision, not a reconstruction.
+		bRecs := a.Records
+		if b != nil {
+			bRecs = b.Records
+		}
+		for i, match := range res.Matches {
+			prov.Vectors[i] = scheme.Pair(a.Records[match.A], bRecs[match.B])
+		}
+		resp.Provenance = prov
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -77,14 +77,15 @@ func (r *ModelRegistry) Info() ModelInfo {
 	r.mu.RUnlock()
 	a := m.Artifact
 	return ModelInfo{
-		Name:       a.Name,
-		Classifier: a.Classifier.Type,
-		CreatedAt:  a.CreatedAt.UTC().Format(time.RFC3339),
-		LoadedAt:   loadedAt.UTC().Format(time.RFC3339),
-		Path:       r.path,
-		Threshold:  a.Threshold,
-		Attributes: m.AttributeNames(),
-		Features:   m.Scheme.FeatureNames(),
-		Reloads:    r.reloads.Load(),
+		Name:        a.Name,
+		Classifier:  a.Classifier.Type,
+		CreatedAt:   a.CreatedAt.UTC().Format(time.RFC3339),
+		LoadedAt:    loadedAt.UTC().Format(time.RFC3339),
+		Path:        r.path,
+		Threshold:   a.Threshold,
+		Attributes:  m.AttributeNames(),
+		Features:    m.Scheme.FeatureNames(),
+		Reloads:     r.reloads.Load(),
+		Fingerprint: m.Fingerprint(),
 	}
 }

@@ -69,6 +69,14 @@ type Config struct {
 	// registry surfaced by /metrics. With a nil tracer the server keeps
 	// a private registry, so /metrics works either way.
 	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured JSONL event per
+	// scored request, trace-correlated via the request's traceparent.
+	// A nil logger costs nothing (see obs.Logger).
+	Logger *obs.Logger
+	// TraceBuffer caps each retention class of the tail-based trace
+	// capture behind GET /debug/traces: the N most recent requests, the
+	// N most recent errors, and the N slowest requests (default 64).
+	TraceBuffer int
 	// Stream, when non-nil, enables the streaming entity-store
 	// endpoints POST /v1/ingest and POST /v1/resolve against this
 	// store (see internal/stream). Build the store with the same
@@ -98,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.SpanSample == 0 {
 		c.SpanSample = 256
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 64
+	}
 	return c
 }
 
@@ -109,6 +120,9 @@ type Server struct {
 	gate    *gate
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	logger  *obs.Logger
+	capture *obs.TraceCapture
+	rt      *obs.RuntimeSampler
 	started time.Time
 
 	spansTaken atomic.Int64
@@ -139,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
 		metrics: metrics,
 		tracer:  cfg.Tracer,
+		logger:  cfg.Logger,
+		capture: obs.NewTraceCapture(cfg.TraceBuffer),
+		rt:      obs.NewRuntimeSampler(metrics),
 		started: time.Now(),
 
 		mRequests:  metrics.Counter("serve.requests_total"),
@@ -157,6 +174,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/match", s.scored("match", s.handleMatch))
@@ -173,55 +191,125 @@ func (s *Server) Handler() http.Handler {
 // publish their own instruments alongside).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// requestSpan starts a span for this request unless the sampling
-// budget is spent. The budget keeps a long-running server's span tree
-// bounded; metrics are recorded for every request regardless.
-func (s *Server) requestSpan(route string) *obs.Span {
+// requestSpan starts a span for this request: attached under the
+// tracer root within the SpanSample budget (so a long-running server's
+// shutdown run report stays bounded), detached beyond it. Detached
+// spans still flow into the tail-based trace capture and are released
+// when they age out of its rings, so every request is traced without
+// unbounded growth.
+func (s *Server) requestSpan(route string, tc obs.TraceContext) *obs.Span {
 	if s.tracer == nil {
 		return nil
 	}
-	if s.spansTaken.Add(1) > s.cfg.SpanSample {
-		return nil
+	var sp *obs.Span
+	if s.spansTaken.Add(1) <= s.cfg.SpanSample {
+		sp = s.tracer.Root().Child("request:" + route)
+	} else {
+		sp = obs.NewDetachedSpan("request:" + route)
 	}
-	return s.tracer.Root().Child("request:" + route)
+	sp.SetStr("trace_id", tc.TraceID.String())
+	sp.SetStr("span_id", tc.SpanID.String())
+	return sp
+}
+
+// traceFor continues the client's trace when the request carries a
+// valid W3C traceparent header (same trace ID, fresh span ID), or
+// starts a new trace otherwise.
+func (s *Server) traceFor(r *http.Request) obs.TraceContext {
+	if h := r.Header.Get("Traceparent"); h != "" {
+		if tc, err := obs.ParseTraceparent(h); err == nil {
+			return tc.ChildOf()
+		}
+	}
+	return obs.NewTraceContext()
+}
+
+// statusWriter records the response status for request logging and
+// trace capture.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// finishRequest records the completed request into the tail-based
+// trace capture and emits the structured request event. Runs for shed
+// requests too — tail capture exists precisely so saturation incidents
+// stay observable.
+func (s *Server) finishRequest(ctx context.Context, route string, tc obs.TraceContext, sp *obs.Span, start time.Time, status int) {
+	dur := time.Since(start)
+	isErr := status >= 400
+	s.capture.Record(obs.CapturedTrace{
+		TraceID: tc.TraceID.String(),
+		Route:   route,
+		Status:  status,
+		Start:   start,
+		DurMS:   float64(dur) / float64(time.Millisecond),
+		Error:   isErr,
+		Span:    obs.SpanTree(sp),
+	})
+	lv := obs.LevelInfo
+	switch {
+	case status >= 500:
+		lv = obs.LevelError
+	case isErr:
+		lv = obs.LevelWarn
+	}
+	s.logger.Log(ctx, lv, "serve.request",
+		obs.FStr("route", route),
+		obs.FInt("status", int64(status)),
+		obs.FFloat("dur_ms", float64(dur)/float64(time.Millisecond)))
 }
 
 // scored wraps a scoring handler with admission control, the
-// per-request deadline, and request accounting. Metadata endpoints
-// (health, metrics, models) stay outside the gate so the service can
-// be observed even while saturated.
+// per-request deadline, trace propagation, and request accounting.
+// Metadata endpoints (health, metrics, models, debug) stay outside the
+// gate so the service can be observed even while saturated.
 func (s *Server) scored(route string, h http.HandlerFunc) http.HandlerFunc {
 	routeRequests := s.metrics.Counter("serve." + route + ".requests_total")
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.mRequests.Add(1)
 		routeRequests.Add(1)
 
+		tc := s.traceFor(r)
+		w.Header().Set("Traceparent", tc.Traceparent())
+		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
-		r = r.WithContext(ctx)
+		ctx = obs.ContextWithTrace(ctx, tc)
 
 		if err := s.gate.acquire(ctx); err != nil {
+			var status int
 			if errors.Is(err, errOverloaded) {
 				s.mShed.Add(1)
 				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Timeout))
-				s.writeError(w, http.StatusTooManyRequests, "server is at capacity, retry later")
-				return
+				status = http.StatusTooManyRequests
+				s.writeError(w, status, "server is at capacity, retry later")
+			} else {
+				// Deadline or client disconnect while queued.
+				status = http.StatusServiceUnavailable
+				s.writeError(w, status, "timed out waiting for capacity")
 			}
-			// Deadline or client disconnect while queued.
-			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for capacity")
+			s.finishRequest(ctx, route, tc, nil, start, status)
 			return
 		}
 		s.mInFlight.Set(float64(s.gate.inFlight()))
-		start := time.Now()
-		sp := s.requestSpan(route)
+		sp := s.requestSpan(route, tc)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(obs.ContextWithSpan(ctx, sp))
 		defer func() {
 			s.gate.release()
 			s.mInFlight.Set(float64(s.gate.inFlight()))
-			s.mLatency.Observe(time.Since(start).Seconds())
+			s.mLatency.ObserveEx(time.Since(start).Seconds(), tc.TraceID.String())
 			sp.End()
+			s.finishRequest(ctx, route, tc, sp, start, sw.status)
 		}()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		h(w, r)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		h(sw, r)
 	}
 }
 
@@ -236,10 +324,17 @@ func retryAfterSeconds(timeout time.Duration) string {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
-		Model:  s.reg.Matcher().Artifact.Name,
-	})
+	rt := s.rt.Sample()
+	resp := HealthResponse{
+		Status:  "ok",
+		Model:   s.reg.Matcher().Artifact.Name,
+		Runtime: &rt,
+	}
+	if s.cfg.Stream != nil {
+		st := s.cfg.Stream.Stats()
+		resp.Stream = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // MetricsResponse is the body of GET /metrics.
@@ -251,11 +346,37 @@ type MetricsResponse struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh on-demand gauges so a scrape always sees current runtime
+	// and streaming-lag state (no background sampler goroutine).
+	s.rt.Sample()
+	s.cfg.Stream.PublishLag()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := obs.WritePrometheus(w, s.metrics.Snapshot()); err != nil {
+			s.mWriteErrs.Add(1)
+		}
+		return
+	}
 	s.writeJSON(w, http.StatusOK, MetricsResponse{
 		Schema:        MetricsSchemaVersion,
 		Model:         s.reg.Matcher().Artifact.Name,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Metrics:       s.metrics.Snapshot(),
+	})
+}
+
+// TracesResponse is the body of GET /debug/traces: the tail-based
+// capture of recent, error and slowest requests.
+type TracesResponse struct {
+	Schema  string              `json:"schema"`
+	Capture obs.CaptureSnapshot `json:"capture"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, TracesResponse{
+		Schema:  TracesSchemaVersion,
+		Capture: s.capture.Snapshot(),
 	})
 }
 

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 
+	"transer/internal/obs"
 	"transer/internal/stream"
 )
 
@@ -38,6 +39,20 @@ type IngestResponse struct {
 type ResolveResponse struct {
 	Model string `json:"model"`
 	stream.ResolveResult
+	// Provenance explains the decision when the request asked for it
+	// (?explain=1).
+	Provenance *ResolveProvenance `json:"provenance,omitempty"`
+}
+
+// ResolveProvenance is the decision provenance attached to
+// POST /v1/resolve?explain=1: the request's trace ID, the exact model
+// identity, and the store's full explanation (candidate set with
+// per-comparator vectors and scores, decision threshold, and the
+// winning entity's journaled merge path).
+type ResolveProvenance struct {
+	TraceID          string `json:"trace_id,omitempty"`
+	ModelFingerprint string `json:"model_fingerprint"`
+	stream.Explanation
 }
 
 // readBody drains the (size-capped) request body.
@@ -72,6 +87,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("ingest of %d records exceeds the limit of %d", len(recs), s.cfg.MaxBatchPairs))
 		return
 	}
+	sp := obs.SpanFromContext(r.Context()).Child("ingest")
+	defer sp.End()
 	results := make([]stream.IngestResult, 0, len(recs))
 	for i, rec := range recs {
 		res, err := st.Ingest(r.Context(), rec)
@@ -89,6 +106,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		results = append(results, res)
 	}
+	sp.SetInt("records", int64(len(results)))
 	s.writeJSON(w, http.StatusOK, IngestResponse{
 		Model:   s.reg.Matcher().Artifact.Name,
 		Count:   len(results),
@@ -108,13 +126,32 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := st.Resolve(r.Context(), rec)
-	if err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, "resolve aborted: "+err.Error())
-		return
+	ctx := r.Context()
+	sp := obs.SpanFromContext(ctx).Child("resolve")
+	defer sp.End()
+	resp := ResolveResponse{Model: s.reg.Matcher().Artifact.Name}
+	if r.URL.Query().Get("explain") != "" {
+		res, exp, err := st.ResolveExplain(ctx, rec)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "resolve aborted: "+err.Error())
+			return
+		}
+		resp.ResolveResult = res
+		resp.Provenance = &ResolveProvenance{
+			ModelFingerprint: s.reg.Matcher().Fingerprint(),
+			Explanation:      *exp,
+		}
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			resp.Provenance.TraceID = tc.TraceID.String()
+		}
+	} else {
+		res, err := st.Resolve(ctx, rec)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "resolve aborted: "+err.Error())
+			return
+		}
+		resp.ResolveResult = res
 	}
-	s.writeJSON(w, http.StatusOK, ResolveResponse{
-		Model:         s.reg.Matcher().Artifact.Name,
-		ResolveResult: res,
-	})
+	sp.SetBool("matched", resp.Matched)
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -71,7 +71,14 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		})
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	// New snapshot boundary: lag restarts from zero. snapLen is atomic
+	// because WriteSnapshot only holds the read lock.
+	s.snapLen.Store(int64(len(s.records)))
+	s.gSnapLag.Set(0)
+	return nil
 }
 
 // SnapshotFile writes a snapshot atomically (temp file + rename), so a
@@ -166,6 +173,9 @@ func LoadSnapshot(cfg Config, r io.Reader) (*Store, error) {
 	}
 	st.gRecords.Set(float64(len(st.records)))
 	st.gEntities.Set(float64(st.entityCount()))
+	st.snapLen.Store(int64(len(st.records)))
+	st.gWALSeq.Set(float64(len(st.records)))
+	st.gSnapLag.Set(0)
 	return st, nil
 }
 

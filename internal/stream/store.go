@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 
 	"transer/internal/blocking"
 	"transer/internal/compare"
@@ -81,6 +82,12 @@ type Config struct {
 	Workers int
 	// Metrics receives the stream.* counter family; nil disables.
 	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured decision event per
+	// live ingest ("stream.ingest", keyed by WAL sequence and the trace
+	// carried in ctx) and per resolve probe at debug level. WAL replay
+	// does not re-log. Logging observes decisions already made — it
+	// never feeds back into scoring or clustering.
+	Logger *obs.Logger
 }
 
 // FromMatcher builds the streaming configuration that scores exactly
@@ -175,6 +182,8 @@ type Store struct {
 	threshold float64
 	workers   int
 
+	logger *obs.Logger
+
 	mIngested   *obs.Counter
 	mResolved   *obs.Counter
 	mCandidates *obs.Counter
@@ -182,6 +191,12 @@ type Store struct {
 	mMerges     *obs.Counter
 	gRecords    *obs.Gauge
 	gEntities   *obs.Gauge
+	gWALSeq     *obs.Gauge
+	gSnapLag    *obs.Gauge
+
+	// snapLen is the record count at the last snapshot boundary
+	// (written/loaded), read without the store lock by lag gauges.
+	snapLen atomic.Int64
 
 	mu      sync.RWMutex
 	index   *blocking.Index
@@ -224,6 +239,7 @@ func NewStore(cfg Config) (*Store, error) {
 		scorer:      scorer,
 		threshold:   cfg.Threshold,
 		workers:     cfg.Workers,
+		logger:      cfg.Logger,
 		mIngested:   reg.Counter("stream.ingested_total"),
 		mResolved:   reg.Counter("stream.resolved_total"),
 		mCandidates: reg.Counter("stream.candidates_total"),
@@ -231,6 +247,8 @@ func NewStore(cfg Config) (*Store, error) {
 		mMerges:     reg.Counter("stream.merges_total"),
 		gRecords:    reg.Gauge("stream.records"),
 		gEntities:   reg.Gauge("stream.entities"),
+		gWALSeq:     reg.Gauge("stream.wal_seq"),
+		gSnapLag:    reg.Gauge("stream.records_since_snapshot"),
 		index:       blocking.NewIndex(lsh),
 		byID:        make(map[string]int),
 		nextID:      1,
@@ -268,14 +286,21 @@ func (s *Store) find(x int) int {
 	return x
 }
 
-// score blocks and scores a probe record against the stored records,
-// returning the proposed candidate count and the matches clearing the
-// threshold (ascending stored-seq order). Callers hold at least the
-// read lock.
-func (s *Store) score(ctx context.Context, r dataset.Record, sig blocking.Signature) (int, []Match, error) {
+// scoreEval is the full outcome of blocking and scoring one probe:
+// the proposed candidate sequences with their comparison vectors and
+// scores (parallel slices, ascending stored-seq order).
+type scoreEval struct {
+	cands  []int
+	x      [][]float64
+	scores []float64
+}
+
+// evaluate blocks and scores a probe record against the stored
+// records. Callers hold at least the read lock.
+func (s *Store) evaluate(ctx context.Context, r dataset.Record, sig blocking.Signature) (scoreEval, error) {
 	cands := s.index.Candidates(sig)
 	if len(cands) == 0 {
-		return 0, nil, ctx.Err()
+		return scoreEval{}, ctx.Err()
 	}
 	x := make([][]float64, len(cands))
 	for i, c := range cands {
@@ -286,20 +311,37 @@ func (s *Store) score(ctx context.Context, r dataset.Record, sig blocking.Signat
 	}
 	scores, err := query.ScoreMatrix(ctx, s.scorer, x, s.workers)
 	if err != nil {
-		return len(cands), nil, err
+		return scoreEval{cands: cands}, err
 	}
-	var matches []Match
-	for i, c := range cands {
-		if scores[i] >= s.threshold {
-			matches = append(matches, Match{
+	return scoreEval{cands: cands, x: x, scores: scores}, nil
+}
+
+// matches extracts the candidates clearing the threshold from an
+// evaluation. Callers hold at least the read lock.
+func (s *Store) matches(ev scoreEval) []Match {
+	var out []Match
+	for i, c := range ev.cands {
+		if ev.scores[i] >= s.threshold {
+			out = append(out, Match{
 				Seq:      c,
 				RecordID: s.records[c].ID,
 				EntityID: s.entity[s.findRO(c)],
-				Score:    scores[i],
+				Score:    ev.scores[i],
 			})
 		}
 	}
-	return len(cands), matches, nil
+	return out
+}
+
+// score blocks and scores a probe record, returning the proposed
+// candidate count and the matches clearing the threshold (ascending
+// stored-seq order). Callers hold at least the read lock.
+func (s *Store) score(ctx context.Context, r dataset.Record, sig blocking.Signature) (int, []Match, error) {
+	ev, err := s.evaluate(ctx, r, sig)
+	if err != nil {
+		return len(ev.cands), nil, err
+	}
+	return len(ev.cands), s.matches(ev), nil
 }
 
 // Ingest admits one record into the store: block, score, then either
@@ -382,6 +424,22 @@ func (s *Store) ingestLocked(ctx context.Context, r dataset.Record, logWAL bool)
 	s.mMerges.Add(int64(len(res.Merges)))
 	s.gRecords.Set(float64(len(s.records)))
 	s.gEntities.Set(float64(s.entityCount()))
+	// WAL sequence = records admitted (the next seq to be written);
+	// snapshot lag = records admitted since the last snapshot boundary.
+	s.gWALSeq.Set(float64(len(s.records)))
+	s.gSnapLag.Set(float64(int64(len(s.records)) - s.snapLen.Load()))
+	if logWAL {
+		// Live ingest only — WAL replay must not re-log decisions it is
+		// merely reapplying.
+		s.logger.Info(ctx, "stream.ingest",
+			obs.FInt("seq", int64(seq)),
+			obs.FStr("record_id", id),
+			obs.FInt("entity_id", int64(res.EntityID)),
+			obs.FBool("created", res.Created),
+			obs.FInt("candidates", int64(nCands)),
+			obs.FInt("matches", int64(len(matches))),
+			obs.FInt("merges", int64(len(res.Merges))))
+	}
 	return res, nil
 }
 
@@ -390,22 +448,60 @@ func (s *Store) entityCount() int {
 	return int(s.nextID-1) - len(s.journal)
 }
 
+// CandidateScore is one blocked candidate's full comparison breakdown:
+// the per-comparator feature vector (aligned with Features()), the
+// classifier score, and whether it cleared the threshold.
+type CandidateScore struct {
+	Seq      int       `json:"seq"`
+	RecordID string    `json:"record_id"`
+	EntityID uint64    `json:"entity_id"`
+	Vector   []float64 `json:"vector"`
+	Score    float64   `json:"score"`
+	Matched  bool      `json:"matched"`
+}
+
+// Explanation is the decision provenance of one resolve probe: every
+// blocked candidate with its comparison vector and score, the feature
+// names the vectors are aligned with, the decision threshold, and the
+// journaled merge history of the winning entity.
+type Explanation struct {
+	Threshold  float64          `json:"threshold"`
+	Features   []string         `json:"features"`
+	Candidates []CandidateScore `json:"candidates"`
+	// MergePath is the journal subsequence whose retirements flowed
+	// (transitively) into the resolved entity, in journal order — how
+	// the winning entity came to span the records it spans. Empty when
+	// the probe did not match or the entity never absorbed a merge.
+	MergePath []Merge `json:"merge_path,omitempty"`
+}
+
 // Resolve probes a record against the store without admitting it:
 // block, score, and report the best-matching entity. Safe to run
 // concurrently with other resolves.
 func (s *Store) Resolve(ctx context.Context, r dataset.Record) (ResolveResult, error) {
+	res, _, err := s.resolve(ctx, r, false)
+	return res, err
+}
+
+// ResolveExplain is Resolve plus full decision provenance.
+func (s *Store) ResolveExplain(ctx context.Context, r dataset.Record) (ResolveResult, *Explanation, error) {
+	return s.resolve(ctx, r, true)
+}
+
+func (s *Store) resolve(ctx context.Context, r dataset.Record, explain bool) (ResolveResult, *Explanation, error) {
 	if len(r.Values) != len(s.schema.Attributes) {
-		return ResolveResult{}, fmt.Errorf("stream: record has %d values, schema has %d attributes",
+		return ResolveResult{}, nil, fmt.Errorf("stream: record has %d values, schema has %d attributes",
 			len(r.Values), len(s.schema.Attributes))
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sig := s.index.Signature(r)
-	nCands, matches, err := s.score(ctx, r, sig)
+	ev, err := s.evaluate(ctx, r, sig)
 	if err != nil {
-		return ResolveResult{}, err
+		return ResolveResult{}, nil, err
 	}
-	res := ResolveResult{Candidates: nCands, Matches: matches}
+	matches := s.matches(ev)
+	res := ResolveResult{Candidates: len(ev.cands), Matches: matches}
 	for _, m := range matches {
 		if !res.Matched || m.Score > res.Score || (m.Score == res.Score && m.EntityID < res.EntityID) {
 			res.Matched = true
@@ -413,10 +509,84 @@ func (s *Store) Resolve(ctx context.Context, r dataset.Record) (ResolveResult, e
 			res.Score = m.Score
 		}
 	}
+	var exp *Explanation
+	if explain {
+		exp = &Explanation{
+			Threshold:  s.threshold,
+			Features:   s.scheme.FeatureNames(),
+			Candidates: make([]CandidateScore, len(ev.cands)),
+			MergePath:  s.mergePathLocked(res.EntityID),
+		}
+		for i, c := range ev.cands {
+			exp.Candidates[i] = CandidateScore{
+				Seq:      c,
+				RecordID: s.records[c].ID,
+				EntityID: s.entity[s.findRO(c)],
+				Vector:   ev.x[i],
+				Score:    ev.scores[i],
+				Matched:  ev.scores[i] >= s.threshold,
+			}
+		}
+	}
 	s.mResolved.Add(1)
-	s.mCandidates.Add(int64(nCands))
+	s.mCandidates.Add(int64(len(ev.cands)))
 	s.nProbes++
-	return res, nil
+	s.logger.Debug(ctx, "stream.resolve",
+		obs.FStr("record_id", r.ID),
+		obs.FBool("matched", res.Matched),
+		obs.FInt("entity_id", int64(res.EntityID)),
+		obs.FFloat("score", res.Score),
+		obs.FInt("candidates", int64(res.Candidates)))
+	return res, exp, nil
+}
+
+// MergePath returns the journal subsequence whose retirements flowed
+// (transitively) into entityID, in journal order — the provenance of
+// how that entity came to span its records.
+func (s *Store) MergePath(entityID uint64) []Merge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mergePathLocked(entityID)
+}
+
+// mergePathLocked walks the journal backwards keeping the set of
+// entity IDs that fed into entityID: an entry merging From into any
+// member adds From to the set. Callers hold at least the read lock.
+func (s *Store) mergePathLocked(entityID uint64) []Merge {
+	if entityID == 0 {
+		return nil
+	}
+	into := map[uint64]bool{entityID: true}
+	var rev []Merge
+	for i := len(s.journal) - 1; i >= 0; i-- {
+		m := s.journal[i]
+		if into[m.Into] {
+			into[m.From] = true
+			rev = append(rev, m)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Features returns the comparison-scheme feature names in vector
+// order — the alignment key for Explanation and query provenance.
+func (s *Store) Features() []string { return s.scheme.FeatureNames() }
+
+// PublishLag refreshes the streaming lag gauges (stream.wal_seq,
+// stream.records_since_snapshot) without waiting for the next ingest —
+// metric scrapes call it so lag is current even on an idle store.
+func (s *Store) PublishLag() {
+	if s == nil {
+		return
+	}
+	s.mu.RLock()
+	n := int64(len(s.records))
+	s.mu.RUnlock()
+	s.gWALSeq.Set(float64(n))
+	s.gSnapLag.Set(float64(n - s.snapLen.Load()))
 }
 
 // EntityOf returns the current entity ID of a stored record by id.
