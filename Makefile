@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel bench-query bench-stream
+.PHONY: build test test-short vet race check golden bench experiments fuzz cover cover-check profile report model serve bench-serve bench-sel bench-query bench-stream bench-repo
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCSVDataset$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzVectorKey$$' -fuzztime $(FUZZTIME) ./internal/kdtree/
 	$(GO) test -run '^$$' -fuzz '^FuzzIngestRecord$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run '^$$' -fuzz '^FuzzArtifactDecode$$' -fuzztime $(FUZZTIME) ./internal/model/
 
 # SEL-engine benchmark: the table 2 pipeline once per engine, each run
 # condensed into one BENCH_sel.json entry via cmd/benchreport. Compare
@@ -184,6 +185,23 @@ bench-stream:
 		.bench-stream/stream-w1.json .bench-stream/stream-w2.json \
 		.bench-stream/stream-w4.json .bench-stream/stream-w0.json > $(STREAM_OUT)
 	@echo "wrote $(STREAM_OUT)"
+
+# Model-repository benchmark: one repo bench run (signature build per
+# builtin dataset, search latency against synthetic catalogs of 8/64/256
+# models, ensemble-vs-single scoring overhead) condensed into
+# BENCH_repo.json via cmd/benchreport. The sign/search phases are the
+# cost centres DESIGN.md §14 budgets; search must stay linear in
+# catalog size and the single-model path free (it delegates).
+#   make bench-repo REPO_SCALE=0.25
+REPO_SCALE ?= 0.1
+REPO_OUT ?= BENCH_repo.json
+bench-repo:
+	@mkdir -p .bench-repo
+	$(GO) run ./cmd/repo bench -scale $(REPO_SCALE) \
+		-metrics-out .bench-repo/repo-report.json
+	$(GO) run ./cmd/benchreport -note "make bench-repo: repo bench at scale $(REPO_SCALE) — signature build per builtin dataset, search sweep over catalogs of 8/64/256, single-vs-ensemble scoring" \
+		.bench-repo/repo-report.json > $(REPO_OUT)
+	@echo "wrote $(REPO_OUT)"
 
 # Short-mode coverage over the whole module, with per-function summary.
 # CI enforces a floor for internal/core and internal/testkit (the

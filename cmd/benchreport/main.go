@@ -84,6 +84,12 @@ var phases = map[string]bool{
 	// ingested record and per read-only resolve probe, so Count is the
 	// record count and TotalMS/Count the per-record latency.
 	"ingest": true, "resolve": true,
+	// Model repository (cmd/repo bench -metrics-out): signature build
+	// per builtin dataset ("sign:<key>"), search sweeps over synthetic
+	// catalogs ("search:<size>") and the artifact training that feeds
+	// the ensemble comparison ("train:pair"). The score phase above
+	// covers the single-vs-ensemble scoring rows.
+	"sign": true, "search": true, "train": true,
 	// Observability phases: "log:flush" is the structured-log shutdown
 	// flush every binary spans when -log-out is set; "trace" covers
 	// trace-capture maintenance spans; "explain" covers provenance

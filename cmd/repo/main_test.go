@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transer/internal/compare"
+	"transer/internal/ml/logreg"
+	"transer/internal/model"
+	"transer/internal/repo"
+	"transer/internal/testkit"
+)
+
+// writeSignedArtifact trains a small artifact with an embedded domain
+// signature and writes it to path, returning its fingerprint.
+func writeSignedArtifact(t *testing.T, seed int64, name, path string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, b := testkit.DatabasePair(rng, 25)
+	scheme := compare.DefaultScheme(a.Schema)
+	var x [][]float64
+	var y []int
+	for _, ra := range a.Records {
+		for _, rb := range b.Records {
+			x = append(x, scheme.Pair(ra, rb))
+			if ra.EntityID == rb.EntityID {
+				y = append(y, 1)
+			} else {
+				y = append(y, 0)
+			}
+		}
+	}
+	clf := logreg.New(logreg.Config{})
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	art, err := model.New(name, clf, a.Schema, scheme)
+	if err != nil {
+		t.Fatalf("model.New: %v", err)
+	}
+	art.Provenance.Signature = repo.BuildSignature(a, b, x)
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	fp, err := art.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestRepoCLILifecycle drives the whole catalog lifecycle through the
+// binary: add two artifacts, list them, compute a target signature
+// with sign, search and select against it, and evict.
+func TestRepoCLILifecycle(t *testing.T) {
+	bin := testkit.BuildBinary(t, "transer/cmd/repo")
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "catalog")
+
+	m1 := filepath.Join(dir, "m1.json")
+	m2 := filepath.Join(dir, "m2.json")
+	fp1 := writeSignedArtifact(t, 1, "first", m1)
+	fp2 := writeSignedArtifact(t, 2, "second", m2)
+
+	out := testkit.RunBinary(t, bin, "add", "-dir", cat, m1, m2)
+	for _, fp := range []string{fp1, fp2} {
+		if !strings.Contains(out, fp) {
+			t.Fatalf("add output lacks %s:\n%s", fp[:12], out)
+		}
+	}
+
+	// Re-adding is a no-op (content addressing).
+	testkit.RunBinary(t, bin, "add", "-dir", cat, m1)
+
+	var list struct {
+		Schema string       `json:"schema"`
+		Models []repo.Entry `json:"models"`
+	}
+	out = testkit.RunBinary(t, bin, "list", "-dir", cat)
+	if err := json.Unmarshal(findJSON(t, out), &list); err != nil {
+		t.Fatalf("list output: %v\n%s", err, out)
+	}
+	if list.Schema != repo.IndexSchemaVersion || len(list.Models) != 2 {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Sign the first model's training domain stand-in: a builtin pair
+	// at tiny scale gives a syntactically valid probe; ranking against
+	// artifact signatures from a different generator is exercised in
+	// internal/repo. Here the probe IS m1's signature file extracted
+	// via search -signature, so first must rank first.
+	sigPath := filepath.Join(dir, "target-sig.json")
+	art, err := model.Load(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigDoc, err := json.Marshal(art.Provenance.Signature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sigPath, sigDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Selector string        `json:"selector"`
+		Members  []repo.Member `json:"members"`
+		Ranking  []struct {
+			Entry repo.Entry `json:"entry"`
+			Score float64    `json:"score"`
+		} `json:"ranking"`
+	}
+	out = testkit.RunBinary(t, bin, "search", "-dir", cat, "-signature", sigPath)
+	if err := json.Unmarshal(findJSON(t, out), &doc); err != nil {
+		t.Fatalf("search output: %v\n%s", err, out)
+	}
+	if len(doc.Ranking) != 2 || doc.Ranking[0].Entry.Fingerprint != fp1 {
+		t.Fatalf("search did not rank the probe's own model first: %+v", doc.Ranking)
+	}
+	if doc.Ranking[0].Score != 1 {
+		t.Fatalf("self-probe score %v, want 1", doc.Ranking[0].Score)
+	}
+
+	out = testkit.RunBinary(t, bin, "select", "-dir", cat, "-signature", sigPath, "-k", "2")
+	if err := json.Unmarshal(findJSON(t, out), &doc); err != nil {
+		t.Fatalf("select output: %v\n%s", err, out)
+	}
+	if len(doc.Members) != 2 || doc.Members[0].Fingerprint != fp1 {
+		t.Fatalf("select members: %+v", doc.Members)
+	}
+	if _, err := repo.ParseSelector(doc.Selector); err != nil {
+		t.Fatalf("select emitted unparseable selector %q: %v", doc.Selector, err)
+	}
+
+	// sign a builtin dataset end to end (the probe-from-CSV path is
+	// the same code behind -a/-b).
+	out = testkit.RunBinary(t, bin, "sign", "-dataset", "DBLP-ACM", "-scale", "0.05")
+	var sig model.Signature
+	if err := json.Unmarshal(findJSON(t, out), &sig); err != nil {
+		t.Fatalf("sign output: %v\n%s", err, out)
+	}
+	if sig.Schema != model.SignatureSchemaVersion || sig.Records == 0 || len(sig.TokenHashes) == 0 {
+		t.Fatalf("sign produced a hollow signature: %+v records=%d", sig.Schema, sig.Records)
+	}
+
+	testkit.RunBinary(t, bin, "evict", "-dir", cat, "second")
+	out = testkit.RunBinary(t, bin, "list", "-dir", cat)
+	if err := json.Unmarshal(findJSON(t, out), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || list.Models[0].Fingerprint != fp1 {
+		t.Fatalf("after evict: %+v", list.Models)
+	}
+}
+
+// findJSON returns the first top-level JSON object in mixed
+// stderr/stdout output (RunBinary merges the streams).
+func findJSON(t *testing.T, out string) []byte {
+	t.Helper()
+	i := strings.IndexByte(out, '{')
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	return []byte(out[i:])
+}

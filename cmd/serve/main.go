@@ -15,7 +15,8 @@
 //	POST /v1/match/batch   {"pairs": [{"a": {...}, "b": {...}}, ...]}
 //	POST /v1/ingest        {"records": [{"id": ..., "attrs": {...}}, ...]} (with -stream)
 //	POST /v1/resolve       {"id": ..., "attrs": {...}} (with -stream)
-//	GET  /v1/models        loaded model metadata
+//	GET  /v1/models        active model metadata (+ catalog with -repo)
+//	POST /v1/models/select {"a": [...], "b": [...]} or {"signature": {...}} (with -repo)
 //	POST /v1/models/reload hot-swap the artifact from disk
 //	GET  /healthz          liveness + runtime/stream gauges
 //	GET  /metrics          transer.serve.metrics/v1 JSON snapshot
@@ -37,6 +38,13 @@
 // journaled entity IDs. -stream-wal gives the store a write-ahead log
 // (replayed on start, torn tail truncated); -stream-snapshot loads a
 // snapshot on start and writes one on graceful shutdown.
+//
+// -repo attaches a model repository (a catalog directory managed by
+// cmd/repo): GET /v1/models appends the catalog after the active
+// model, POST /v1/models/select ranks catalogued models against a
+// target domain's signature or sample records, and the scoring
+// endpoints accept a model=<selector> query parameter (fingerprint,
+// unique prefix, model name, or a weighted "fp@w,fp@w" ensemble).
 //
 // A served model scores pairs byte-identically to the cmd/transer run
 // that exported it, and batch responses are byte-identical for every
@@ -61,6 +69,7 @@ import (
 	"time"
 
 	"transer/internal/obs"
+	"transer/internal/repo"
 	"transer/internal/serve"
 	"transer/internal/stream"
 )
@@ -88,6 +97,7 @@ func run() error {
 		streamOn    = flag.Bool("stream", false, "enable the live entity store and the /v1/ingest + /v1/resolve endpoints")
 		streamWAL   = flag.String("stream-wal", "", "write-ahead log `file` for the entity store (replayed on start, torn tail truncated; implies -stream)")
 		streamSnap  = flag.String("stream-snapshot", "", "snapshot `file` for the entity store (loaded on start if present, written on shutdown; implies -stream)")
+		repoDir     = flag.String("repo", "", "model repository `directory` (enables /v1/models/select and the model= selector)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -132,6 +142,19 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "serve: entity store ready (%d records, %d entities)\n",
 			stats.Records, stats.Entities)
 	}
+	var catalog *repo.Catalog
+	if *repoDir != "" {
+		catalog, err = repo.Open(*repoDir)
+		if err != nil {
+			// Open returns a usable catalog alongside an error listing
+			// invalid artifact files; serve what is valid, but say so.
+			if catalog == nil {
+				return fmt.Errorf("model repository: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "serve: model repository:", err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: model repository %s (%d models)\n", *repoDir, catalog.Len())
+	}
 	srv, err := serve.New(serve.Config{
 		Registry:      reg,
 		MaxInFlight:   *maxInFlight,
@@ -142,6 +165,7 @@ func run() error {
 		Tracer:        tr,
 		Logger:        logger,
 		Stream:        store,
+		Catalog:       catalog,
 	})
 	if err != nil {
 		return err

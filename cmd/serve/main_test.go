@@ -275,9 +275,11 @@ func TestServeEndToEndParity(t *testing.T) {
 		t.Fatalf("health %+v", health)
 	}
 
+	// The active model leads the listing; with -repo a catalog is
+	// appended after it, so only the head is pinned here.
 	var models serve.ModelsResponse
 	getJSON(t, p.base+"/v1/models", &models)
-	if len(models.Models) != 1 || models.Models[0].Classifier != "rf" {
+	if len(models.Models) == 0 || models.Models[0].Classifier != "rf" || models.Models[0].Source != "active" {
 		t.Fatalf("models %+v", models)
 	}
 

@@ -46,6 +46,7 @@ import (
 	"transer/internal/obs"
 	"transer/internal/parallel"
 	"transer/internal/pipeline"
+	"transer/internal/repo"
 )
 
 func main() {
@@ -256,6 +257,10 @@ func exportModel(path string, res *transer.Result, source, target *transer.Domai
 		HighConfidence: st.HighConfidence,
 		BalancedTrain:  st.BalancedTrain,
 		TCLFallback:    st.TCLFallback,
+		// The target-domain signature makes the artifact searchable in a
+		// model repository (cmd/repo, internal/repo) without revisiting
+		// the training data.
+		Signature: repo.BuildSignature(target.A, target.B, target.X),
 	}
 	return art.WriteFile(path)
 }

@@ -3,6 +3,7 @@ package blocking
 import (
 	"hash/fnv"
 	"math"
+	"sort"
 
 	"transer/internal/dataset"
 	"transer/internal/strutil"
@@ -112,6 +113,22 @@ func (s *KMV) down(i int) {
 		i = big
 	}
 }
+
+// Hashes returns the kept minimum hashes in ascending order (a copy).
+// These are the finalised (splitmix64-mixed) values, so hash lists from
+// two sketches built with the same k are directly comparable: the
+// model repository persists them in domain signatures and estimates
+// token-set Jaccard from the lists alone (the classical KMV set
+// estimator over the k smallest hashes of the union).
+func (s *KMV) Hashes() []uint64 {
+	out := make([]uint64, len(s.min))
+	copy(out, s.min)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// K returns the sketch size parameter.
+func (s *KMV) K() int { return s.k }
 
 // Estimate returns the estimated number of distinct tokens added.
 func (s *KMV) Estimate() float64 {

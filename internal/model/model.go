@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -124,6 +125,12 @@ type Provenance struct {
 	HighConfidence int  `json:"high_confidence,omitempty"`
 	BalancedTrain  int  `json:"balanced_train,omitempty"`
 	TCLFallback    bool `json:"tcl_fallback,omitempty"`
+	// Signature is the domain signature of the target domain the model
+	// was trained to serve (internal/repo computes it at cmd/transer
+	// -model-out time). The model repository searches stored models by
+	// signature similarity against a new unlabelled target. Omitted
+	// when absent, keeping artifacts from older exports byte-stable.
+	Signature *Signature `json:"signature,omitempty"`
 }
 
 // Artifact is one persisted model: everything needed to score a raw
@@ -242,6 +249,11 @@ func (a *Artifact) Validate() error {
 	if _, err := a.BuildScheme(); err != nil {
 		return err
 	}
+	if sig := a.Provenance.Signature; sig != nil {
+		if err := sig.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -339,13 +351,54 @@ func Decode(b []byte) (*Artifact, error) {
 	return &a, nil
 }
 
-// WriteFile persists the artifact.
+// WriteFile persists the artifact atomically: the bytes land in a
+// temporary file in the destination directory, are fsynced, and only
+// then renamed over path. A crash mid-export can therefore never leave
+// a truncated artifact for a server or the model repository to ingest
+// — readers see either the previous complete file or the new one.
 func (a *Artifact) WriteFile(path string) error {
 	b, err := a.Encode()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, b, 0o644)
+	return AtomicWriteFile(path, b)
+}
+
+// AtomicWriteFile writes data to path via a same-directory temp file,
+// fsync and rename, so concurrent readers and crash recovery never
+// observe a partial file. The repository's catalog index uses the same
+// helper for its swap-on-success index updates.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads and validates an artifact from disk.

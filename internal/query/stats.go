@@ -41,6 +41,11 @@ type Stats struct {
 	// DistinctTokens is the KMV-estimated distinct token count of the
 	// pooled databases.
 	DistinctTokens float64
+	// Sketch is the pooled KMV token sketch behind DistinctTokens.
+	// The model repository persists its minimum hashes in domain
+	// signatures (model.Signature), so stored models and new targets
+	// can estimate their token-set overlap without revisiting the data.
+	Sketch *blocking.KMV
 }
 
 // Collect computes planning statistics for a database pair in one pass
@@ -110,5 +115,6 @@ func Collect(a, b *dataset.Database) Stats {
 	if st.DistinctTokens < 1 {
 		st.DistinctTokens = 1
 	}
+	st.Sketch = sketch
 	return st
 }

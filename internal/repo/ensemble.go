@@ -1,0 +1,152 @@
+package repo
+
+import (
+	"fmt"
+	"strings"
+
+	"transer/internal/dataset"
+	"transer/internal/model"
+)
+
+// Ensemble scores record pairs with one or more catalogued matchers.
+// A single-member ensemble delegates every call directly to its
+// matcher — byte-identical to serving that model without the
+// repository in the path (the differential gate in repo_test.go holds
+// this). A multi-member ensemble returns the weighted sum of its
+// members' scores, accumulated in fixed member order, so output is
+// bitwise identical for every worker count (each member's Score
+// already is, and the combination order never varies).
+//
+// All members must share the scheme signature and decision threshold:
+// their feature spaces coincide, so one Vector computation feeds every
+// member. An Ensemble is immutable and safe for concurrent use.
+type Ensemble struct {
+	members []*model.Matcher
+	weights []float64
+}
+
+// Single wraps one matcher as a trivial ensemble.
+func Single(m *model.Matcher) *Ensemble {
+	return &Ensemble{members: []*model.Matcher{m}, weights: []float64{1}}
+}
+
+// NewEnsemble builds a weighted ensemble. Weights must be positive and
+// are normalised to sum to 1; members must agree on scheme signature
+// and threshold. One member with any weight collapses to Single.
+func NewEnsemble(members []*model.Matcher, weights []float64) (*Ensemble, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("repo: ensemble needs at least one member")
+	}
+	if len(weights) != len(members) {
+		return nil, fmt.Errorf("repo: %d members but %d weights", len(members), len(weights))
+	}
+	if len(members) == 1 {
+		return Single(members[0]), nil
+	}
+	first := members[0].Artifact
+	total := 0.0
+	for i, m := range members {
+		if weights[i] <= 0 {
+			return nil, fmt.Errorf("repo: ensemble weight %d is %v, want > 0", i, weights[i])
+		}
+		total += weights[i]
+		a := m.Artifact
+		if a.Scheme.Signature != first.Scheme.Signature {
+			return nil, fmt.Errorf("repo: ensemble member %s scheme %q differs from %s scheme %q — feature spaces are incompatible",
+				m.Fingerprint()[:12], a.Scheme.Signature, members[0].Fingerprint()[:12], first.Scheme.Signature)
+		}
+		if a.Threshold != first.Threshold {
+			return nil, fmt.Errorf("repo: ensemble member %s threshold %v differs from %v",
+				m.Fingerprint()[:12], a.Threshold, first.Threshold)
+		}
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &Ensemble{members: append([]*model.Matcher(nil), members...), weights: norm}, nil
+}
+
+// EnsembleFor resolves a selector string ("fp", "name", or
+// "fp@w,fp@w") against the catalog and assembles the ensemble.
+func (c *Catalog) EnsembleFor(sel string) (*Ensemble, error) {
+	members, err := ParseSelector(sel)
+	if err != nil {
+		return nil, err
+	}
+	matchers := make([]*model.Matcher, len(members))
+	weights := make([]float64, len(members))
+	for i, m := range members {
+		matchers[i], err = c.Matcher(m.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = m.Weight
+	}
+	return NewEnsemble(matchers, weights)
+}
+
+// Members returns the member matchers in scoring order.
+func (e *Ensemble) Members() []*model.Matcher { return e.members }
+
+// Weights returns the normalised member weights.
+func (e *Ensemble) Weights() []float64 { return e.weights }
+
+// Primary returns the highest-weighted member (the first — Select
+// emits members best-first), which defines the ensemble's schema,
+// scheme and threshold.
+func (e *Ensemble) Primary() *model.Matcher { return e.members[0] }
+
+// Label names the ensemble for response documents: a single member's
+// artifact name, or "ensemble(fp12@w,...)" with truncated fingerprints
+// for a real ensemble (the full reproducible selector is Selector).
+func (e *Ensemble) Label() string {
+	if len(e.members) == 1 {
+		return e.members[0].Artifact.Name
+	}
+	parts := make([]string, len(e.members))
+	for i, m := range e.members {
+		parts[i] = fmt.Sprintf("%s@%.3f", m.Fingerprint()[:12], e.weights[i])
+	}
+	return "ensemble(" + strings.Join(parts, ",") + ")"
+}
+
+// Selector renders the ensemble back to its selector string.
+func (e *Ensemble) Selector() string {
+	members := make([]Member, len(e.members))
+	for i, m := range e.members {
+		members[i] = Member{Fingerprint: m.Fingerprint(), Weight: e.weights[i]}
+	}
+	return FormatSelector(members)
+}
+
+// RecordFromValues builds a schema-conformant record via the primary
+// member (all members share the schema).
+func (e *Ensemble) RecordFromValues(values map[string]string) (dataset.Record, error) {
+	return e.members[0].RecordFromValues(values)
+}
+
+// Vector computes the shared comparison feature vector of a pair.
+func (e *Ensemble) Vector(a, b dataset.Record) []float64 {
+	return e.members[0].Vector(a, b)
+}
+
+// Score satisfies query.Scorer. One member delegates directly (bitwise
+// equal to the bare matcher); otherwise the weighted member scores are
+// combined in fixed order.
+func (e *Ensemble) Score(x [][]float64, workers int) []float64 {
+	if len(e.members) == 1 {
+		return e.members[0].Score(x, workers)
+	}
+	out := make([]float64, len(x))
+	for mi, m := range e.members {
+		w := e.weights[mi]
+		for i, s := range m.Score(x, workers) {
+			out[i] += w * s
+		}
+	}
+	return out
+}
+
+// Decide applies the shared decision threshold.
+func (e *Ensemble) Decide(p float64) bool { return e.members[0].Decide(p) }

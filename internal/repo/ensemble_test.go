@@ -1,0 +1,182 @@
+package repo_test
+
+import (
+	"math"
+	"testing"
+
+	"transer/internal/model"
+	"transer/internal/repo"
+)
+
+var gateWorkers = []int{1, 2, 4, 0}
+
+// TestSingleModelByteIdentity is the differential gate of DESIGN.md
+// §14: a model served through the repository — catalogued, reloaded
+// from disk, wrapped in a one-member ensemble — must score bitwise
+// identically to the directly assembled matcher, for every worker
+// count. Any drift here means the repository path changes decisions.
+func TestSingleModelByteIdentity(t *testing.T) {
+	art := trainArtifact(t, 11, "gate")
+	direct, err := model.NewMatcher(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vectorsFor(t, direct, 12)
+
+	c, err := repo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Add(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := c.EnsembleFor(e.Fingerprint)
+	if err != nil {
+		t.Fatalf("EnsembleFor: %v", err)
+	}
+	if ens.Label() != "gate" || ens.Selector() != e.Fingerprint {
+		t.Fatalf("single-member identity leaked: label=%q selector=%q", ens.Label(), ens.Selector())
+	}
+
+	want := direct.Score(x, 1)
+	for _, w := range gateWorkers {
+		for name, got := range map[string][]float64{
+			"direct":  direct.Score(x, w),
+			"single":  repo.Single(direct).Score(x, w),
+			"catalog": ens.Score(x, w),
+		} {
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d %s: %d scores, want %d", w, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d %s: score[%d] = %v, want %v (not bitwise identical)",
+						w, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for i := range want {
+		if ens.Decide(want[i]) != direct.Decide(want[i]) {
+			t.Fatalf("decision drift at %d", i)
+		}
+	}
+}
+
+// TestEnsembleWeightedSum: a two-member ensemble is exactly the
+// weighted sum of its members' scores, in fixed member order, bitwise
+// stable across worker counts.
+func TestEnsembleWeightedSum(t *testing.T) {
+	a1 := trainArtifact(t, 21, "one")
+	a2 := trainArtifact(t, 22, "two")
+	m1, err := model.NewMatcher(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := model.NewMatcher(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vectorsFor(t, m1, 23)
+
+	// Weights 3 and 1 normalise to 0.75 / 0.25.
+	ens, err := repo.NewEnsemble([]*model.Matcher{m1, m2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ens.Weights(); w[0] != 0.75 || w[1] != 0.25 {
+		t.Fatalf("normalised weights %v", w)
+	}
+	s1, s2 := m1.Score(x, 1), m2.Score(x, 1)
+	want := make([]float64, len(x))
+	for i := range want {
+		want[i] = 0.75*s1[i] + 0.25*s2[i]
+	}
+	ref := ens.Score(x, 1)
+	for i := range want {
+		if ref[i] != want[i] {
+			t.Fatalf("score[%d] = %v, want weighted sum %v", i, ref[i], want[i])
+		}
+		if ref[i] < 0 || ref[i] > 1 || math.IsNaN(ref[i]) {
+			t.Fatalf("ensemble score[%d] = %v out of [0,1]", i, ref[i])
+		}
+	}
+	for _, w := range gateWorkers {
+		got := ens.Score(x, w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: score[%d] = %v, want %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	if ens.Primary() != m1 {
+		t.Fatal("Primary is not the first member")
+	}
+}
+
+// TestEnsembleViaCatalogSelector: the full path — Select over a
+// ranking, FormatSelector, EnsembleFor — produces an ensemble whose
+// selector round-trips and whose members keep selection order.
+func TestEnsembleViaCatalogSelector(t *testing.T) {
+	c, err := repo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := trainArtifact(t, 31, "one")
+	a2 := trainArtifact(t, 32, "two")
+	e1, err := c.Add(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Add(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := repo.FormatSelector([]repo.Member{
+		{Fingerprint: e1.Fingerprint, Weight: 0.6},
+		{Fingerprint: e2.Fingerprint, Weight: 0.4},
+	})
+	ens, err := c.EnsembleFor(sel)
+	if err != nil {
+		t.Fatalf("EnsembleFor(%q): %v", sel, err)
+	}
+	if got := ens.Selector(); got != sel {
+		t.Fatalf("Selector() = %q, want %q", got, sel)
+	}
+	if ms := ens.Members(); ms[0].Fingerprint() != e1.Fingerprint || ms[1].Fingerprint() != e2.Fingerprint {
+		t.Fatal("member order does not follow the selector")
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	a1 := trainArtifact(t, 41, "one")
+	a2 := trainArtifact(t, 42, "two")
+	m1, err := model.NewMatcher(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := model.NewMatcher(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.NewEnsemble(nil, nil); err == nil {
+		t.Fatal("empty ensemble accepted")
+	}
+	if _, err := repo.NewEnsemble([]*model.Matcher{m1, m2}, []float64{1}); err == nil {
+		t.Fatal("member/weight length mismatch accepted")
+	}
+	if _, err := repo.NewEnsemble([]*model.Matcher{m1, m2}, []float64{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	// Mismatched thresholds make decisions ambiguous; rejected.
+	a3 := trainArtifact(t, 43, "three")
+	a3.Threshold = 0.7
+	m3, err := model.NewMatcher(a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.NewEnsemble([]*model.Matcher{m1, m3}, []float64{1, 1}); err == nil {
+		t.Fatal("threshold mismatch accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// decodeStrict unmarshals JSON rejecting unknown fields, so a foreign
+// document in the index slot is detected instead of half-read.
+func decodeStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// encodeIndex serialises the index document with a trailing newline,
+// matching the artifact encoding convention.
+func encodeIndex(ix index) ([]byte, error) {
+	b, err := json.MarshalIndent(ix, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

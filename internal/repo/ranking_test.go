@@ -1,0 +1,70 @@
+package repo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"transer/internal/datagen"
+	"transer/internal/model"
+	"transer/internal/repo"
+)
+
+// TestTrueSourceRanking is the selection acceptance gate: catalogue
+// one signature per builtin dataset at scale 0.25, probe with each
+// dataset re-sampled at scale 0.2, and require the true source to
+// rank first every time. Short mode keeps one dataset per schema
+// family (bibliographic, music, demographic) to stay fast.
+func TestTrueSourceRanking(t *testing.T) {
+	builtins := datagen.Builtins()
+	if testing.Short() {
+		keep := map[string]bool{"DBLP-ACM": true, "DBLP-Scholar": true, "MSD": true, "IOS-Bp-Dp": true}
+		var sub []datagen.Builtin
+		for _, b := range builtins {
+			if keep[b.Key] {
+				sub = append(sub, b)
+			}
+		}
+		builtins = sub
+	}
+
+	ctx := context.Background()
+	sigAt := func(b datagen.Builtin, scale float64) *model.Signature {
+		pair := b.Make(scale)
+		sig, err := repo.SignatureOf(ctx, pair.A, pair.B, pair.Blocking, 0)
+		if err != nil {
+			t.Fatalf("SignatureOf(%s@%v): %v", b.Key, scale, err)
+		}
+		return sig
+	}
+
+	entries := make([]repo.Entry, len(builtins))
+	for i, b := range builtins {
+		entries[i] = repo.Entry{
+			// Synthetic content addresses; the ranking only reads the
+			// signatures.
+			Fingerprint: fmt.Sprintf("%064x", i+1),
+			Name:        b.Key,
+			Signature:   sigAt(b, 0.25),
+		}
+	}
+
+	for _, b := range builtins {
+		target := sigAt(b, 0.2)
+		ranked := repo.RankEntries(target, entries, 0, 0)
+		if len(ranked) != len(entries) {
+			t.Fatalf("%s: ranking dropped entries", b.Key)
+		}
+		if got := ranked[0].Entry.Name; got != b.Key {
+			for _, r := range ranked {
+				t.Logf("  %-14s score=%.4f fields=%.3f tokens=%.3f centroids=%.3f",
+					r.Entry.Name, r.Score, r.Components.Fields, r.Components.Tokens, r.Components.Centroids)
+			}
+			t.Fatalf("probing with %s ranked %s first", b.Key, got)
+		}
+		if ranked[0].Score <= ranked[1].Score {
+			t.Fatalf("%s: no separation between true source and runner-up (%v vs %v)",
+				b.Key, ranked[0].Score, ranked[1].Score)
+		}
+	}
+}

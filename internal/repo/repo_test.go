@@ -1,0 +1,333 @@
+package repo_test
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transer/internal/compare"
+	"transer/internal/ml/logreg"
+	"transer/internal/model"
+	"transer/internal/repo"
+	"transer/internal/testkit"
+)
+
+// trainArtifact builds a complete artifact the way cmd/transer does:
+// a logreg trained on every cross pair of a generated database pair,
+// with the training domain's signature embedded in the provenance.
+// Different seeds give different data, weights and fingerprints while
+// sharing the scheme signature and threshold (testkit's fixed schema),
+// so any two artifacts are ensemble-compatible.
+func trainArtifact(tb testing.TB, seed int64, name string) *model.Artifact {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, b := testkit.DatabasePair(rng, 30)
+	scheme := compare.DefaultScheme(a.Schema)
+	var x [][]float64
+	var y []int
+	for _, ra := range a.Records {
+		for _, rb := range b.Records {
+			x = append(x, scheme.Pair(ra, rb))
+			if ra.EntityID == rb.EntityID {
+				y = append(y, 1)
+			} else {
+				y = append(y, 0)
+			}
+		}
+	}
+	clf := logreg.New(logreg.Config{})
+	if err := clf.Fit(x, y); err != nil {
+		tb.Fatalf("Fit: %v", err)
+	}
+	art, err := model.New(name, clf, a.Schema, scheme)
+	if err != nil {
+		tb.Fatalf("model.New: %v", err)
+	}
+	art.Provenance.SourceName = name + "-source"
+	art.Provenance.TargetName = name + "-target"
+	art.Provenance.Signature = repo.BuildSignature(a, b, x)
+	return art
+}
+
+// vectorsFor derives a scoring matrix from a fresh database pair under
+// the artifact's scheme — the differential-gate input.
+func vectorsFor(tb testing.TB, m *model.Matcher, seed int64) [][]float64 {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, b := testkit.DatabasePair(rng, 20)
+	var x [][]float64
+	for _, ra := range a.Records {
+		for _, rb := range b.Records {
+			x = append(x, m.Vector(ra, rb))
+		}
+	}
+	return x
+}
+
+func fingerprintOf(tb testing.TB, a *model.Artifact) string {
+	tb.Helper()
+	fp, err := a.Fingerprint()
+	if err != nil {
+		tb.Fatalf("Fingerprint: %v", err)
+	}
+	return fp
+}
+
+func TestCatalogAddListResolveEvict(t *testing.T) {
+	dir := t.TempDir()
+	c, err := repo.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	a1 := trainArtifact(t, 1, "alpha")
+	a2 := trainArtifact(t, 2, "beta")
+	e1, err := c.Add(a1)
+	if err != nil {
+		t.Fatalf("Add alpha: %v", err)
+	}
+	if _, err := c.Add(a2); err != nil {
+		t.Fatalf("Add beta: %v", err)
+	}
+	if got := fingerprintOf(t, a1); e1.Fingerprint != got {
+		t.Fatalf("entry fingerprint %s, artifact %s", e1.Fingerprint, got)
+	}
+	if e1.Signature == nil {
+		t.Fatal("catalogued entry lost its domain signature")
+	}
+
+	// Content addressing makes Add idempotent.
+	again, err := c.Add(a1)
+	if err != nil {
+		t.Fatalf("re-Add: %v", err)
+	}
+	if again.Fingerprint != e1.Fingerprint || c.Len() != 2 {
+		t.Fatalf("re-adding changed the catalog: len=%d", c.Len())
+	}
+
+	list := c.List()
+	if len(list) != 2 || list[0].Name != "alpha" || list[1].Name != "beta" {
+		t.Fatalf("List out of (name, fingerprint) order: %+v", list)
+	}
+
+	// Resolve by full fingerprint, unique prefix, and unique name.
+	for _, sel := range []string{e1.Fingerprint, e1.Fingerprint[:8], "alpha"} {
+		e, err := c.Resolve(sel)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", sel, err)
+		}
+		if e.Fingerprint != e1.Fingerprint {
+			t.Fatalf("Resolve(%q) = %s, want %s", sel, e.Fingerprint[:12], e1.Fingerprint[:12])
+		}
+	}
+	if _, err := c.Resolve("no-such-model"); err == nil {
+		t.Fatal("Resolve of an absent model succeeded")
+	}
+	if _, err := c.Resolve(""); err == nil {
+		t.Fatal("Resolve of an empty selector succeeded")
+	}
+
+	// Evict removes the entry and the artifact file.
+	if _, err := c.Evict("beta"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after evict = %d, want 1", c.Len())
+	}
+	fp2 := fingerprintOf(t, a2)
+	if _, err := os.Stat(filepath.Join(dir, "models", fp2+".json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted artifact file still present (stat err: %v)", err)
+	}
+	if _, err := c.Resolve("beta"); err == nil {
+		t.Fatal("evicted model still resolves")
+	}
+}
+
+// TestCatalogOpenRecovery exercises the index-as-cache contract: the
+// artifact files alone reconstruct the catalog, and invalid files are
+// reported while the valid remainder is served.
+func TestCatalogOpenRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := repo.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	a1 := trainArtifact(t, 3, "alpha")
+	a2 := trainArtifact(t, 4, "beta")
+	if _, err := c.Add(a1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(a2); err != nil {
+		t.Fatal(err)
+	}
+	fp1, fp2 := fingerprintOf(t, a1), fingerprintOf(t, a2)
+
+	// Deleting the index loses nothing: Open rescans the artifact
+	// files and rewrites it.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	c, err = repo.Open(dir)
+	if err != nil {
+		t.Fatalf("Open after index loss: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("recovered %d models, want 2", c.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatalf("index not rewritten after rescan: %v", err)
+	}
+
+	// A garbage index is tolerated the same way.
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = repo.Open(dir)
+	if err != nil || c.Len() != 2 {
+		t.Fatalf("Open with corrupt index: len=%d err=%v", c.Len(), err)
+	}
+
+	// A corrupt artifact file is skipped with an error; the valid
+	// remainder still serves. The index must be reconciled first
+	// (remove it so the bad file is actually decoded).
+	if err := os.WriteFile(filepath.Join(dir, "models", fp1+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	c, err = repo.Open(dir)
+	if err == nil {
+		t.Fatal("Open swallowed a corrupt artifact file")
+	}
+	if c == nil || c.Len() != 1 {
+		t.Fatalf("valid remainder not served: %v", err)
+	}
+	if _, rerr := c.Resolve(fp2); rerr != nil {
+		t.Fatalf("surviving model unresolvable: %v", rerr)
+	}
+
+	// An artifact filed under the wrong fingerprint is rejected: the
+	// filename is the content address.
+	enc, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := strings.Repeat("ab", 32)
+	if err := os.WriteFile(filepath.Join(dir, "models", wrong+".json"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	c, err = repo.Open(dir)
+	if err == nil || !strings.Contains(err.Error(), "does not match filename") {
+		t.Fatalf("mis-filed artifact not rejected: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("catalog after mis-filed artifact: len=%d, want 1", c.Len())
+	}
+}
+
+// TestCatalogMatcherVerifiesDisk: a cached entry whose artifact file
+// was swapped for different content must fail closed, not serve the
+// impostor under the original fingerprint.
+func TestCatalogMatcherVerifiesDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := repo.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := trainArtifact(t, 5, "alpha")
+	a2 := trainArtifact(t, 6, "beta")
+	e1, err := c.Add(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "models", e1.Fingerprint+".json"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Matcher(e1.Fingerprint); err == nil || !strings.Contains(err.Error(), "content changed") {
+		t.Fatalf("swapped artifact served: %v", err)
+	}
+}
+
+func TestSelectorRoundTrip(t *testing.T) {
+	fpA := strings.Repeat("0a", 32)
+	fpB := strings.Repeat("0b", 32)
+	cases := [][]repo.Member{
+		{{Fingerprint: fpA, Weight: 1}},
+		{{Fingerprint: fpA, Weight: 0.625}, {Fingerprint: fpB, Weight: 0.375}},
+		{{Fingerprint: fpA, Weight: 1.0 / 3}, {Fingerprint: fpB, Weight: 2.0 / 3}},
+	}
+	for _, members := range cases {
+		s := repo.FormatSelector(members)
+		got, err := repo.ParseSelector(s)
+		if err != nil {
+			t.Fatalf("ParseSelector(%q): %v", s, err)
+		}
+		if len(got) != len(members) {
+			t.Fatalf("round trip %q changed member count", s)
+		}
+		for i := range members {
+			if got[i] != members[i] {
+				t.Fatalf("round trip %q member %d: %+v != %+v", s, i, got[i], members[i])
+			}
+		}
+	}
+	// A single weight-1 member renders as the bare fingerprint — the
+	// pre-repository provenance format.
+	if s := repo.FormatSelector(cases[0]); s != fpA {
+		t.Fatalf("single-member selector %q, want bare fingerprint", s)
+	}
+	// Bare terms default to weight 1.
+	got, err := repo.ParseSelector(fpA + "," + fpB)
+	if err != nil || got[0].Weight != 1 || got[1].Weight != 1 {
+		t.Fatalf("bare ensemble terms: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",", "fp@", "fp@0", "fp@-1", "@0.5", "fp@x"} {
+		if _, err := repo.ParseSelector(bad); err == nil {
+			t.Fatalf("ParseSelector(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSelectMembers(t *testing.T) {
+	e := func(fp string) repo.Entry { return repo.Entry{Fingerprint: fp} }
+	ranked := []repo.Ranked{
+		{Entry: e("f1"), Score: 0.6},
+		{Entry: e("f2"), Score: 0.3},
+		{Entry: e("f3"), Score: 0.1},
+		{Entry: e("f4"), Score: 0},
+	}
+	if m := repo.Select(ranked, 1); len(m) != 1 || m[0] != (repo.Member{Fingerprint: "f1", Weight: 1}) {
+		t.Fatalf("Select k=1: %+v", m)
+	}
+	m := repo.Select(ranked, 3)
+	if len(m) != 3 {
+		t.Fatalf("Select k=3 picked %d members", len(m))
+	}
+	sum := 0.0
+	for _, mm := range m {
+		sum += mm.Weight
+	}
+	if diff := sum - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ensemble weights sum to %v", sum)
+	}
+	if math.Abs(m[0].Weight-0.6) > 1e-12 || math.Abs(m[1].Weight-0.3) > 1e-12 {
+		t.Fatalf("weights not score-proportional: %+v", m)
+	}
+	// Zero-scored models are never selected, even under a large k.
+	if m := repo.Select(ranked, 10); len(m) != 3 {
+		t.Fatalf("Select k=10 picked a zero-scored model: %+v", m)
+	}
+	if m := repo.Select(ranked[3:], 2); m != nil {
+		t.Fatalf("Select over all-zero ranking: %+v", m)
+	}
+}

@@ -1,0 +1,151 @@
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"transer/internal/model"
+	"transer/internal/parallel"
+)
+
+// Ranked is one search result: a catalogued model, its combined
+// similarity to the target signature, and the score breakdown.
+type Ranked struct {
+	Entry      Entry      `json:"entry"`
+	Score      float64    `json:"score"`
+	Components Components `json:"components"`
+}
+
+// Search ranks every catalogued model against the target signature,
+// best first. Ties break by ascending fingerprint, and per-entry
+// scores are pure functions of the two signatures, so the ranking is
+// bitwise identical for every worker count (scores are written to
+// index-addressed slots over the worker pool). Models without a
+// stored signature score 0 and sink to the bottom. limit > 0 caps the
+// returned prefix.
+func (c *Catalog) Search(target *model.Signature, limit, workers int) []Ranked {
+	return RankEntries(target, c.List(), limit, workers)
+}
+
+// RankEntries is Search over any entry snapshot (the catalog-free
+// form; cmd/repo's bench mode ranks synthetic catalogs with it).
+// The input slice is not modified.
+func RankEntries(target *model.Signature, snapshot []Entry, limit, workers int) []Ranked {
+	// Fix the scoring order independently of the input ordering so the
+	// parallel fan-out is index-addressed over a canonical slice.
+	entries := append([]Entry(nil), snapshot...)
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Fingerprint < entries[j].Fingerprint
+	})
+	out := make([]Ranked, len(entries))
+	parallel.ForEach(workers, len(entries), func(i int) {
+		score, comp := Similarity(target, entries[i].Signature)
+		out[i] = Ranked{Entry: entries[i], Score: score, Components: comp}
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry.Fingerprint < out[j].Entry.Fingerprint
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Member is one ensemble constituent in a parsed selector.
+type Member struct {
+	Fingerprint string  `json:"fingerprint"`
+	Weight      float64 `json:"weight"`
+}
+
+// Select turns a ranking into an ensemble membership: the top k
+// results with positive score, weighted by their normalised scores.
+// k <= 1 selects the single best model at weight 1. The result is
+// empty when nothing scored above zero (an all-zero catalog gives the
+// caller nothing to serve with — better an explicit error upstream
+// than an arbitrary pick).
+func Select(ranked []Ranked, k int) []Member {
+	if k < 1 {
+		k = 1
+	}
+	var picked []Ranked
+	for _, r := range ranked {
+		if r.Score <= 0 {
+			break
+		}
+		picked = append(picked, r)
+		if len(picked) == k {
+			break
+		}
+	}
+	if len(picked) == 0 {
+		return nil
+	}
+	if len(picked) == 1 {
+		return []Member{{Fingerprint: picked[0].Entry.Fingerprint, Weight: 1}}
+	}
+	total := 0.0
+	for _, r := range picked {
+		total += r.Score
+	}
+	out := make([]Member, len(picked))
+	for i, r := range picked {
+		out[i] = Member{Fingerprint: r.Entry.Fingerprint, Weight: r.Score / total}
+	}
+	return out
+}
+
+// FormatSelector renders members as the model selector string the
+// serving surfaces exchange: a bare fingerprint for one member,
+// "fp@weight,fp@weight" for an ensemble. Weights use the shortest
+// round-trip float encoding, so format→parse is lossless.
+func FormatSelector(members []Member) string {
+	if len(members) == 1 && members[0].Weight == 1 {
+		return members[0].Fingerprint
+	}
+	parts := make([]string, len(members))
+	for i, m := range members {
+		parts[i] = m.Fingerprint + "@" + strconv.FormatFloat(m.Weight, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSelector parses a model selector string: a single fingerprint
+// (or unique prefix / model name), or a comma-separated ensemble of
+// "<fingerprint>[@weight]" terms. Omitted weights default to 1;
+// weights must be positive and are normalised by the ensemble
+// constructor, not here.
+func ParseSelector(s string) ([]Member, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("repo: empty model selector")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Member, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("repo: selector %q has an empty term", s)
+		}
+		m := Member{Fingerprint: p, Weight: 1}
+		if at := strings.LastIndexByte(p, '@'); at >= 0 {
+			w, err := strconv.ParseFloat(p[at+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("repo: selector term %q: bad weight: %v", p, err)
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("repo: selector term %q: weight must be positive", p)
+			}
+			m = Member{Fingerprint: p[:at], Weight: w}
+			if m.Fingerprint == "" {
+				return nil, fmt.Errorf("repo: selector term %q has no model", p)
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package repo_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"transer/internal/blocking"
+	"transer/internal/compare"
+	"transer/internal/datagen"
+	"transer/internal/model"
+	"transer/internal/repo"
+	"transer/internal/testkit"
+)
+
+// TestSignaturePermutationInvariance: a domain signature is a pure
+// function of the record and compare-row multisets — permuting either
+// yields a bitwise-identical signature (field statistics, token hash
+// list, centroid order and all).
+func TestSignaturePermutationInvariance(t *testing.T) {
+	testkit.Run(t, "signature-permutation", 8, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, 6+pt.Size)
+		scheme := compare.DefaultScheme(a.Schema)
+		var x [][]float64
+		for _, ra := range a.Records {
+			for _, rb := range b.Records {
+				x = append(x, scheme.Pair(ra, rb))
+			}
+		}
+		base := repo.BuildSignature(a, b, x)
+
+		a.Records = testkit.Permute(testkit.Perm(pt.Rng, len(a.Records)), a.Records)
+		b.Records = testkit.Permute(testkit.Perm(pt.Rng, len(b.Records)), b.Records)
+		x = testkit.Permute(testkit.Perm(pt.Rng, len(x)), x)
+		perm := repo.BuildSignature(a, b, x)
+
+		if !reflect.DeepEqual(base, perm) {
+			pt.Fatalf("signature changed under record/row permutation:\nbase %+v\nperm %+v", base, perm)
+		}
+	})
+}
+
+// TestSignatureSelfSimilarity: Similarity is symmetric, bounded to
+// [0, 1], and exactly 1 against itself.
+func TestSignatureSelfSimilarity(t *testing.T) {
+	testkit.Run(t, "signature-self-similarity", 6, func(pt *testkit.T) {
+		a, b := testkit.DatabasePair(pt.Rng, 6+pt.Size)
+		scheme := compare.DefaultScheme(a.Schema)
+		var x [][]float64
+		for _, ra := range a.Records {
+			for _, rb := range b.Records {
+				x = append(x, scheme.Pair(ra, rb))
+			}
+		}
+		sig := repo.BuildSignature(a, b, x)
+		if s, _ := repo.Similarity(sig, sig); s != 1 {
+			pt.Fatalf("self-similarity = %v, want exactly 1", s)
+		}
+
+		c, d := testkit.DatabasePair(pt.Rng, 6+pt.Size/2)
+		other := repo.BuildSignature(c, d, nil)
+		fwd, _ := repo.Similarity(sig, other)
+		rev, _ := repo.Similarity(other, sig)
+		if fwd != rev {
+			pt.Fatalf("similarity asymmetric: %v vs %v", fwd, rev)
+		}
+		if fwd < 0 || fwd > 1 {
+			pt.Fatalf("similarity %v out of [0,1]", fwd)
+		}
+	})
+}
+
+// TestSignatureScaleStability: the same domain sampled at half the
+// scale must still look like itself — similarity above a coarse floor
+// — and must stay closer to itself than to a structurally different
+// domain at the same scale. This is what makes small target samples
+// usable as search probes.
+func TestSignatureScaleStability(t *testing.T) {
+	ctx := context.Background()
+	sigAt := func(b datagen.Builtin, scale float64) *model.Signature {
+		pair := b.Make(scale)
+		sig, err := repo.SignatureOf(ctx, pair.A, pair.B, pair.Blocking, 0)
+		if err != nil {
+			t.Fatalf("SignatureOf(%s@%v): %v", b.Key, scale, err)
+		}
+		return sig
+	}
+	acm, _ := datagen.BuiltinByKey("DBLP-ACM")
+	msd, _ := datagen.BuiltinByKey("MSD")
+
+	full := sigAt(acm, 0.2)
+	half := sigAt(acm, 0.1)
+	selfSim, _ := repo.Similarity(half, full)
+	if selfSim < 0.5 {
+		t.Fatalf("DBLP-ACM half-scale similarity %v below 0.5 — signatures too scale-sensitive", selfSim)
+	}
+	crossSim, _ := repo.Similarity(half, sigAt(msd, 0.2))
+	if crossSim >= selfSim {
+		t.Fatalf("half-scale DBLP-ACM closer to MSD (%v) than to itself (%v)", crossSim, selfSim)
+	}
+}
+
+// TestSearchRankingDeterminism: RankEntries is bitwise identical for
+// every worker count and invariant under input entry order — the
+// worker-invariance leg of the determinism contract.
+func TestSearchRankingDeterminism(t *testing.T) {
+	var entries []repo.Entry
+	for i := int64(0); i < 6; i++ {
+		art := trainArtifact(t, 100+i, fmt.Sprintf("m%d", i))
+		fp, err := art.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, repo.Entry{
+			Fingerprint: fp,
+			Name:        art.Name,
+			Signature:   art.Provenance.Signature,
+		})
+	}
+	target := entries[3].Signature
+
+	ref := repo.RankEntries(target, entries, 0, 1)
+	if len(ref) != len(entries) {
+		t.Fatalf("ranking dropped entries: %d of %d", len(ref), len(entries))
+	}
+	if ref[0].Entry.Fingerprint != entries[3].Fingerprint {
+		t.Fatalf("target's own signature not ranked first: %+v", ref[0].Entry.Name)
+	}
+	for _, w := range gateWorkers {
+		got := repo.RankEntries(target, entries, 0, w)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("ranking differs at workers=%d", w)
+		}
+	}
+	// Reversed input order, same ranking.
+	rev := make([]repo.Entry, len(entries))
+	for i, e := range entries {
+		rev[len(entries)-1-i] = e
+	}
+	if got := repo.RankEntries(target, rev, 0, 4); !reflect.DeepEqual(got, ref) {
+		t.Fatal("ranking depends on input entry order")
+	}
+}
+
+// TestSignatureOfWorkerInvariance: the end-to-end signature builder
+// (blocking, compare matrix, reduction) is bitwise identical for every
+// worker count.
+func TestSignatureOfWorkerInvariance(t *testing.T) {
+	pair := datagen.DBLPACM(0.1)
+	ctx := context.Background()
+	ref, err := repo.SignatureOf(ctx, pair.A, pair.B, pair.Blocking, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := repo.SignatureOf(ctx, pair.A, pair.B, pair.Blocking, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("signature differs at workers=%d", w)
+		}
+	}
+	// The dedup view (b == nil) must also be stable.
+	dedup, err := repo.SignatureOf(ctx, pair.A, nil, blocking.MinHashConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup.Records != pair.A.NumRecords() {
+		t.Fatalf("dedup signature counted %d records, want %d", dedup.Records, pair.A.NumRecords())
+	}
+}

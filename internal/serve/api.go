@@ -63,20 +63,28 @@ type BatchResponse struct {
 	Results []BatchResult `json:"results"`
 }
 
-// ModelInfo describes the currently loaded model artifact.
+// ModelInfo describes one available model: the actively served
+// artifact (Source "active", fully populated) or a model-repository
+// catalog entry (Source "catalog" — identity and decision metadata
+// only; load it via the model= selector to serve it).
 type ModelInfo struct {
 	Name       string   `json:"name"`
 	Classifier string   `json:"classifier"`
 	CreatedAt  string   `json:"created_at"`
-	LoadedAt   string   `json:"loaded_at"`
+	LoadedAt   string   `json:"loaded_at,omitempty"`
 	Path       string   `json:"path,omitempty"`
 	Threshold  float64  `json:"threshold"`
-	Attributes []string `json:"attributes"`
-	Features   []string `json:"features"`
+	Attributes []string `json:"attributes,omitempty"`
+	Features   []string `json:"features,omitempty"`
 	Reloads    int64    `json:"reloads"`
 	// Fingerprint is the SHA-256 identity of the serialised artifact —
-	// the value provenance responses and decision logs cite.
+	// the value provenance responses and decision logs cite, and the
+	// model= selector the scoring endpoints accept.
 	Fingerprint string `json:"fingerprint"`
+	// Source distinguishes the actively served model ("active") from
+	// repository catalog entries ("catalog"). Empty on servers built
+	// before the model repository existed.
+	Source string `json:"source,omitempty"`
 }
 
 // ModelsResponse is the body of GET /v1/models and of a successful

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"transer/internal/dataset"
+	"transer/internal/model"
 	"transer/internal/obs"
 	"transer/internal/query"
 )
@@ -75,10 +76,9 @@ type QueryProvenance struct {
 }
 
 // payloadDatabase converts uploaded records to a schema-conformant
-// database under the model's schema. IDs are synthesised from the
+// database under the matcher's schema. IDs are synthesised from the
 // side and index so query matches are self-describing.
-func (s *Server) payloadDatabase(side string, payloads []RecordPayload) (*dataset.Database, error) {
-	m := s.reg.Matcher()
+func (s *Server) payloadDatabase(m *model.Matcher, side string, payloads []RecordPayload) (*dataset.Database, error) {
 	db := &dataset.Database{Name: side, Schema: m.Schema}
 	for i, p := range payloads {
 		r, err := m.RecordFromValues(p)
@@ -111,15 +111,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	m := s.reg.Matcher()
-	a, err := s.payloadDatabase("a", req.A)
+	e, err := s.ensembleFor(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m := e.Primary()
+	a, err := s.payloadDatabase(m, "a", req.A)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var b *dataset.Database
 	if len(req.B) > 0 {
-		if b, err = s.payloadDatabase("b", req.B); err != nil {
+		if b, err = s.payloadDatabase(m, "b", req.B); err != nil {
 			s.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -133,8 +138,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	job := query.Job{
 		A: a, B: b,
 		Scheme:      &scheme,
-		Scorer:      m,
-		ScorerLabel: "model:" + m.Artifact.Name,
+		Scorer:      e,
+		ScorerLabel: "model:" + e.Label(),
 		Threshold:   threshold,
 		Limit:       req.Limit,
 		Force:       force,
@@ -151,7 +156,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := QueryResponse{
-		Model:    m.Artifact.Name,
+		Model:    e.Label(),
 		Schema:   query.PlanSchemaVersion,
 		Strategy: plan.Block.Strategy.String(),
 		Plan:     plan.Explain(),
@@ -176,12 +181,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			A:           match.A,
 			B:           match.B,
 			Probability: match.Score,
-			Match:       m.Decide(match.Score),
+			Match:       e.Decide(match.Score),
 		}
 	}
 	if r.URL.Query().Get("explain") != "" {
+		// For a single model this is the bare fingerprint (unchanged
+		// from pre-repository responses); for an ensemble it is the
+		// full reproducible selector.
 		prov := &QueryProvenance{
-			ModelFingerprint: m.Fingerprint(),
+			ModelFingerprint: e.Selector(),
 			Threshold:        threshold,
 			Features:         scheme.FeatureNames(),
 			Vectors:          make([][]float64, len(res.Matches)),

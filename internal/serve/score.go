@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 
-	"transer/internal/model"
 	"transer/internal/query"
 )
 
@@ -18,6 +17,6 @@ const scoreBlock = query.CompareBlock
 // identical — the contract batch responses are built on. On
 // cancellation the partial result is discarded and the context error
 // returned.
-func scoreWithContext(ctx context.Context, m *model.Matcher, x [][]float64, workers int) ([]float64, error) {
-	return query.ScoreMatrix(ctx, m, x, workers)
+func scoreWithContext(ctx context.Context, scorer query.Scorer, x [][]float64, workers int) ([]float64, error) {
+	return query.ScoreMatrix(ctx, scorer, x, workers)
 }

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"transer/internal/compare"
+	"transer/internal/ml/logreg"
+	"transer/internal/model"
+	"transer/internal/repo"
+	"transer/internal/testkit"
+)
+
+// trainedArtifact builds a signed artifact the way cmd/transer
+// -model-out does: trained on a generated pair, with the training
+// domain's signature in the provenance. All seeds share testkit's
+// schema, so any two artifacts are ensemble-compatible.
+func trainedArtifact(tb testing.TB, seed int64, name string) *model.Artifact {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, b := testkit.DatabasePair(rng, 30)
+	scheme := compare.DefaultScheme(a.Schema)
+	var x [][]float64
+	var y []int
+	for _, ra := range a.Records {
+		for _, rb := range b.Records {
+			x = append(x, scheme.Pair(ra, rb))
+			if ra.EntityID == rb.EntityID {
+				y = append(y, 1)
+			} else {
+				y = append(y, 0)
+			}
+		}
+	}
+	clf := logreg.New(logreg.Config{})
+	if err := clf.Fit(x, y); err != nil {
+		tb.Fatalf("Fit: %v", err)
+	}
+	art, err := model.New(name, clf, a.Schema, scheme)
+	if err != nil {
+		tb.Fatalf("model.New: %v", err)
+	}
+	art.Provenance.SourceName = name + "-source"
+	art.Provenance.TargetName = name + "-target"
+	art.Provenance.Signature = repo.BuildSignature(a, b, x)
+	return art
+}
+
+// catalogServer builds a server whose active model is art0 and whose
+// catalog holds all given artifacts.
+func catalogServer(tb testing.TB, arts ...*model.Artifact) (*Server, *repo.Catalog) {
+	tb.Helper()
+	c, err := repo.Open(tb.(interface{ TempDir() string }).TempDir())
+	if err != nil {
+		tb.Fatalf("repo.Open: %v", err)
+	}
+	for _, a := range arts {
+		if _, err := c.Add(a); err != nil {
+			tb.Fatalf("Add: %v", err)
+		}
+	}
+	m, err := model.NewMatcher(arts[0])
+	if err != nil {
+		tb.Fatalf("NewMatcher: %v", err)
+	}
+	s := newTestServer(tb, Config{Registry: StaticRegistry(m), Catalog: c})
+	return s, c
+}
+
+func TestModelsWithCatalog(t *testing.T) {
+	a1 := trainedArtifact(t, 61, "active-model")
+	a2 := trainedArtifact(t, 62, "shelf-model")
+	s, _ := catalogServer(t, a1, a2)
+	h := s.Handler()
+
+	var models ModelsResponse
+	if w := getJSON(t, h, "/v1/models", &models); w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/models: %d", w.Code)
+	}
+	// Active first (the pre-repository shape), catalog appended, and
+	// the active model — also catalogued — not listed twice.
+	if len(models.Models) != 2 {
+		t.Fatalf("listed %d models, want active + 1 catalog entry: %+v", len(models.Models), models)
+	}
+	if models.Models[0].Source != "active" || models.Models[0].Name != "active-model" {
+		t.Fatalf("head of listing is not the active model: %+v", models.Models[0])
+	}
+	if models.Models[1].Source != "catalog" || models.Models[1].Name != "shelf-model" {
+		t.Fatalf("catalog entry malformed: %+v", models.Models[1])
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	a1 := trainedArtifact(t, 71, "active-model")
+	a2 := trainedArtifact(t, 72, "shelf-model")
+	s, _ := catalogServer(t, a1, a2)
+	h := s.Handler()
+
+	// Sample records of the "new target domain" (same generator family
+	// as a1's training data, so a1 should rank first).
+	rng := rand.New(rand.NewSource(71))
+	da, dbb := testkit.DatabasePair(rng, 25)
+	payloadOf := func(values []string) RecordPayload {
+		p := RecordPayload{}
+		for i, attr := range da.Schema.Attributes {
+			p[attr.Name] = values[i]
+		}
+		return p
+	}
+	req := SelectRequest{K: 2}
+	for _, r := range da.Records[:10] {
+		req.A = append(req.A, payloadOf(r.Values))
+	}
+	for _, r := range dbb.Records[:10] {
+		req.B = append(req.B, payloadOf(r.Values))
+	}
+	w := postJSON(t, h, "/v1/models/select", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("select: %d: %s", w.Code, w.Body.String())
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schema != SelectSchemaVersion {
+		t.Fatalf("schema %q", resp.Schema)
+	}
+	if len(resp.Members) != 2 || len(resp.Ranking) != 2 {
+		t.Fatalf("members=%d ranking=%d, want 2/2", len(resp.Members), len(resp.Ranking))
+	}
+	members, err := repo.ParseSelector(resp.Selector)
+	if err != nil {
+		t.Fatalf("returned selector %q does not parse: %v", resp.Selector, err)
+	}
+	if members[0] != resp.Members[0] {
+		t.Fatalf("selector %q disagrees with members %+v", resp.Selector, resp.Members)
+	}
+
+	// The returned selector must be directly usable on /v1/match.
+	mw := postJSON(t, h, "/v1/match?model="+resp.Selector, samplePair())
+	if mw.Code != http.StatusOK {
+		t.Fatalf("match with selected ensemble: %d: %s", mw.Code, mw.Body.String())
+	}
+
+	// A precomputed signature works in place of records.
+	sig := a2.Provenance.Signature
+	w = postJSON(t, h, "/v1/models/select", SelectRequest{Signature: sig})
+	if w.Code != http.StatusOK {
+		t.Fatalf("select by signature: %d: %s", w.Code, w.Body.String())
+	}
+	var bySig SelectResponse
+	json.Unmarshal(w.Body.Bytes(), &bySig)
+	if len(bySig.Members) != 1 {
+		t.Fatalf("k=1 select returned %d members", len(bySig.Members))
+	}
+
+	// Signature AND records is ambiguous; neither is empty.
+	if w := postJSON(t, h, "/v1/models/select", SelectRequest{Signature: sig, A: req.A}); w.Code != http.StatusBadRequest {
+		t.Fatalf("signature+records: %d, want 400", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/models/select", SelectRequest{}); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty select: %d, want 400", w.Code)
+	}
+}
+
+func TestMatchModelSelector(t *testing.T) {
+	a1 := trainedArtifact(t, 81, "active-model")
+	a2 := trainedArtifact(t, 82, "shelf-model")
+	s, _ := catalogServer(t, a1, a2)
+	h := s.Handler()
+	pair := samplePair()
+
+	// No selector and the active model's full fingerprint (and a
+	// prefix) must be byte-identical responses.
+	m1, _ := model.NewMatcher(a1)
+	base := postJSON(t, h, "/v1/match", pair)
+	if base.Code != http.StatusOK {
+		t.Fatalf("match: %d: %s", base.Code, base.Body.String())
+	}
+	for _, sel := range []string{m1.Fingerprint(), m1.Fingerprint()[:12]} {
+		w := postJSON(t, h, "/v1/match?model="+sel, pair)
+		if w.Code != http.StatusOK || w.Body.String() != base.Body.String() {
+			t.Fatalf("model=%s response diverges from the bare path:\n%s\nvs\n%s", sel, w.Body.String(), base.Body.String())
+		}
+	}
+
+	// Selecting the shelved model scores with it.
+	m2, err := model.NewMatcher(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postJSON(t, h, "/v1/match?model="+m2.Fingerprint(), pair)
+	if w.Code != http.StatusOK {
+		t.Fatalf("catalog model match: %d: %s", w.Code, w.Body.String())
+	}
+	var got MatchResponse
+	json.Unmarshal(w.Body.Bytes(), &got)
+	ra, _ := m2.RecordFromValues(pair.A)
+	rb, _ := m2.RecordFromValues(pair.B)
+	want := m2.Score([][]float64{m2.Vector(ra, rb)}, 1)[0]
+	if got.Probability != want {
+		t.Fatalf("model=%s scored %v, direct matcher %v", m2.Fingerprint()[:12], got.Probability, want)
+	}
+	if got.Model != "shelf-model" {
+		t.Fatalf("response names model %q", got.Model)
+	}
+
+	// A weighted ensemble is the weighted sum of both models.
+	sel := m1.Fingerprint() + "@0.5," + m2.Fingerprint() + "@0.5"
+	w = postJSON(t, h, "/v1/match?model="+sel, pair)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ensemble match: %d: %s", w.Code, w.Body.String())
+	}
+	var ens MatchResponse
+	json.Unmarshal(w.Body.Bytes(), &ens)
+	var baseResp MatchResponse
+	json.Unmarshal(base.Body.Bytes(), &baseResp)
+	wantEns := 0.5*baseResp.Probability + 0.5*want
+	if diff := ens.Probability - wantEns; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ensemble probability %v, want %v", ens.Probability, wantEns)
+	}
+
+	// Unknown selectors are a client error.
+	if w := postJSON(t, h, "/v1/match?model=ffffffffffff", pair); w.Code != http.StatusBadRequest {
+		t.Fatalf("bogus selector: %d, want 400", w.Code)
+	}
+}
+
+// TestSelectRequiresCatalog: without Config.Catalog the select route
+// does not exist and catalog selectors are rejected, while the active
+// model keeps serving (including under its own fingerprint selector).
+func TestSelectRequiresCatalog(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	if w := postJSON(t, h, "/v1/models/select", SelectRequest{}); w.Code != http.StatusNotFound {
+		t.Fatalf("select without catalog: %d, want 404", w.Code)
+	}
+	active := s.reg.Matcher().Fingerprint()
+	if w := postJSON(t, h, "/v1/match?model="+active, samplePair()); w.Code != http.StatusOK {
+		t.Fatalf("active-fingerprint selector without catalog: %d", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/match?model=ffffffffffff", samplePair()); w.Code != http.StatusBadRequest {
+		t.Fatalf("catalog selector without catalog: %d, want 400", w.Code)
+	}
+}

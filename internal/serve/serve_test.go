@@ -330,7 +330,10 @@ func TestModelsAndReload(t *testing.T) {
 	if w := getJSON(t, h, "/v1/models", &models); w.Code != http.StatusOK {
 		t.Fatalf("GET /v1/models: %d", w.Code)
 	}
-	if len(models.Models) != 1 || models.Models[0].Classifier != "constant" || models.Models[0].Reloads != 0 {
+	// The active model always leads the listing (with a catalog
+	// attached, catalog entries follow it — TestModelsWithCatalog).
+	if len(models.Models) == 0 || models.Models[0].Classifier != "constant" ||
+		models.Models[0].Reloads != 0 || models.Models[0].Source != "active" {
 		t.Fatalf("models response %+v", models)
 	}
 

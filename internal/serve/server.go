@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"transer/internal/obs"
+	"transer/internal/repo"
 	"transer/internal/stream"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// metrics registry as the server so its stream.* counters appear
 	// in /metrics.
 	Stream *stream.Store
+	// Catalog, when non-nil, enables the model-repository surfaces:
+	// GET /v1/models appends the catalog after the active model,
+	// POST /v1/models/select ranks catalogued models against a target
+	// domain, and the scoring endpoints accept a model=<selector>
+	// query parameter (fingerprint, unique prefix, model name, or a
+	// weighted "fp@w,fp@w" ensemble). Without a selector the active
+	// registry model serves exactly as before.
+	Catalog *repo.Catalog
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +189,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/match", s.scored("match", s.handleMatch))
 	mux.HandleFunc("POST /v1/match/batch", s.scored("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/query", s.scored("query", s.handleQuery))
+	if s.cfg.Catalog != nil {
+		mux.HandleFunc("POST /v1/models/select", s.scored("select", s.handleSelect))
+	}
 	if s.cfg.Stream != nil {
 		mux.HandleFunc("POST /v1/ingest", s.scored("ingest", s.handleIngest))
 		mux.HandleFunc("POST /v1/resolve", s.scored("resolve", s.handleResolve))
@@ -381,7 +393,12 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: []ModelInfo{s.reg.Info()}})
+	// The active model comes first (the pre-repository response shape,
+	// so single-model clients keep reading Models[0]); the catalog, if
+	// configured, is appended with source "catalog".
+	active := s.reg.Info()
+	active.Source = "active"
+	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: s.catalogModels([]ModelInfo{active})})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -391,7 +408,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Counter("serve.reloads_total").Add(1)
-	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: []ModelInfo{s.reg.Info()}})
+	active := s.reg.Info()
+	active.Source = "active"
+	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: s.catalogModels([]ModelInfo{active})})
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -399,23 +418,27 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	m := s.reg.Matcher()
-	ra, err := m.RecordFromValues(req.A)
+	e, err := s.ensembleFor(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ra, err := e.RecordFromValues(req.A)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "record a: "+err.Error())
 		return
 	}
-	rb, err := m.RecordFromValues(req.B)
+	rb, err := e.RecordFromValues(req.B)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "record b: "+err.Error())
 		return
 	}
-	x := m.Vector(ra, rb)
-	p := m.Score([][]float64{x}, 1)[0]
+	x := e.Vector(ra, rb)
+	p := e.Score([][]float64{x}, 1)[0]
 	s.writeJSON(w, http.StatusOK, MatchResponse{
-		Model:       m.Artifact.Name,
+		Model:       e.Label(),
 		Probability: p,
-		Match:       m.Decide(p),
+		Match:       e.Decide(p),
 		Vector:      x,
 	})
 }
@@ -436,29 +459,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mBatchSize.Observe(float64(len(req.Pairs)))
 
-	m := s.reg.Matcher()
+	e, err := s.ensembleFor(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	x := make([][]float64, len(req.Pairs))
 	for i, pair := range req.Pairs {
-		ra, err := m.RecordFromValues(pair.A)
+		ra, err := e.RecordFromValues(pair.A)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
 			return
 		}
-		rb, err := m.RecordFromValues(pair.B)
+		rb, err := e.RecordFromValues(pair.B)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
 			return
 		}
-		x[i] = m.Vector(ra, rb)
+		x[i] = e.Vector(ra, rb)
 	}
-	proba, err := scoreWithContext(r.Context(), m, x, s.cfg.Workers)
+	proba, err := scoreWithContext(r.Context(), e, x, s.cfg.Workers)
 	if err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("batch scoring aborted: %v", err))
 		return
 	}
-	resp := BatchResponse{Model: m.Artifact.Name, Count: len(proba), Results: make([]BatchResult, len(proba))}
+	resp := BatchResponse{Model: e.Label(), Count: len(proba), Results: make([]BatchResult, len(proba))}
 	for i, p := range proba {
-		resp.Results[i] = BatchResult{Index: i, Probability: p, Match: m.Decide(p)}
+		resp.Results[i] = BatchResult{Index: i, Probability: p, Match: e.Decide(p)}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
